@@ -1,0 +1,130 @@
+// Command hcsim runs a single simulation of the heterogeneous serverless
+// platform and prints the outcome breakdown — the quickest way to poke at
+// one configuration.
+//
+// Usage:
+//
+//	hcsim -heuristic MM -tasks 15000 -prune
+//	hcsim -heuristic KPB -mode immediate -tasks 20000 -prune -toggle always
+//	hcsim -heuristic EDF -homogeneous -tasks 25000 -pattern constant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prunesim"
+)
+
+func main() {
+	var (
+		heuristic   = flag.String("heuristic", "MM", "mapping heuristic (RR, MET, MCT, KPB, OLB, MM, MSD, MMU, MaxMin, Sufferage, FCFS-RR, EDF, SJF)")
+		mode        = flag.String("mode", "batch", "allocation mode: batch or immediate")
+		tasks       = flag.Int("tasks", 15000, "total tasks (oversubscription level)")
+		pattern     = flag.String("pattern", "spiky", "arrival pattern: spiky or constant")
+		homogeneous = flag.Bool("homogeneous", false, "use the homogeneous system (8 identical machines)")
+		prune       = flag.Bool("prune", false, "attach the pruning mechanism")
+		threshold   = flag.Float64("threshold", 0.5, "pruning threshold (chance of success)")
+		fairness    = flag.Float64("fairness", 0.05, "fairness factor c")
+		toggle      = flag.String("toggle", "reactive", "dropping toggle: never, always, reactive")
+		noDefer     = flag.Bool("nodefer", false, "disable the deferring operation")
+		slots       = flag.Int("slots", 2, "pending queue slots per machine (batch mode)")
+		trial       = flag.Int("trial", 0, "workload trial number")
+		seed        = flag.Uint64("seed", 1, "execution-time sampling seed")
+		energyFlag  = flag.Bool("energy", false, "print the energy/cost report")
+		calibrate   = flag.Bool("calibration", false, "print the chance-of-success reliability table")
+	)
+	flag.Parse()
+
+	matrix := prunesim.StandardPET()
+	machines := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if *homogeneous {
+		matrix = prunesim.HomogeneousPET()
+		machines = make([]int, 8)
+	}
+	pruning := prunesim.NoPruning(matrix.NumTaskTypes())
+	if *prune {
+		pruning = prunesim.DefaultPruning(matrix.NumTaskTypes())
+		pruning.Threshold = *threshold
+		pruning.FairnessFactor = *fairness
+		pruning.DeferEnabled = !*noDefer
+		switch *toggle {
+		case "never":
+			pruning.DropMode = prunesim.ToggleNever
+		case "always":
+			pruning.DropMode = prunesim.ToggleAlways
+		case "reactive":
+			pruning.DropMode = prunesim.ToggleReactive
+		default:
+			fatal(fmt.Errorf("unknown toggle %q", *toggle))
+		}
+	}
+	allocMode := prunesim.BatchAllocation
+	if *mode == "immediate" {
+		allocMode = prunesim.ImmediateAllocation
+	} else if *mode != "batch" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Matrix:          matrix,
+		MachineTypes:    machines,
+		Mode:            allocMode,
+		Heuristic:       *heuristic,
+		QueueSlots:      *slots,
+		Pruning:         pruning,
+		Seed:            *seed,
+		ExcludeBoundary: 100,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(*tasks)
+	switch *pattern {
+	case "spiky":
+		wcfg.Pattern = prunesim.SpikyArrival
+	case "constant":
+		wcfg.Pattern = prunesim.ConstantArrival
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	if *calibrate {
+		wcfg.Trial = *trial
+		rep, err := platform.AssessCalibration(prunesim.GenerateWorkload(matrix, wcfg), 10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		return
+	}
+	res, err := platform.RunTrial(wcfg, *trial)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("heuristic=%s mode=%s pattern=%s tasks=%d pruning=%v\n",
+		*heuristic, *mode, *pattern, *tasks, *prune)
+	fmt.Printf("robustness:        %6.2f%% (%d/%d on time)\n", res.Robustness, res.OnTime, res.Counted)
+	fmt.Printf("late completions:  %6d\n", res.Late)
+	fmt.Printf("dropped reactive:  %6d\n", res.DroppedReactive)
+	fmt.Printf("dropped proactive: %6d\n", res.DroppedProactive)
+	fmt.Printf("unfinished:        %6d\n", res.Unfinished)
+	fmt.Printf("deferrals:         %6d\n", res.Deferrals)
+	fmt.Printf("mapping events:    %6d\n", res.MappingEvents)
+	fmt.Printf("makespan:          %8.1f time units\n", res.Makespan)
+	fmt.Printf("busy time:         %8.1f (wasted on late tasks: %.1f)\n", res.BusyTime, res.WastedTime)
+	if *energyFlag {
+		rep, err := prunesim.AnalyzeEnergy(res, len(machines), prunesim.DefaultEnergyParams())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("energy:            %8.0f kJ total, %.0f kJ wasted (%.1f%%)\n",
+			rep.TotalJoules/1000, rep.WastedJoules/1000, 100*rep.WastedFraction)
+		fmt.Printf("cost:              $%7.2f total, $%.2f wasted\n", rep.TotalDollars, rep.WastedDollars)
+		fmt.Printf("efficiency:        %8.0f J per on-time task\n", rep.JoulesPerOnTimeTask)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command petgen exports the PET (Probabilistic Execution Time) matrix: the
+// table of expected execution times, or the full PMF of one cell, or a
+// generated workload trial — the inputs a downstream analysis pipeline
+// needs.
+//
+// Usage:
+//
+//	petgen                      # mean execution-time table (CSV to stdout)
+//	petgen -cell gzip:sunfire-3800   # full PMF of one (task, machine) cell
+//	petgen -workload 15000 -trial 3  # dump one workload trial as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prunesim"
+	"prunesim/internal/trace"
+	"prunesim/internal/workload"
+)
+
+func main() {
+	var (
+		cell    = flag.String("cell", "", "export one cell's PMF, as taskType:machineType (names or indices)")
+		homog   = flag.Bool("homogeneous", false, "use the homogeneous matrix")
+		wl      = flag.Int("workload", 0, "generate a workload of this many tasks instead")
+		trial   = flag.Int("trial", 0, "workload trial number")
+		pattern = flag.String("pattern", "spiky", "workload pattern: spiky or constant")
+	)
+	flag.Parse()
+
+	matrix := prunesim.StandardPET()
+	if *homog {
+		matrix = prunesim.HomogeneousPET()
+	}
+	switch {
+	case *wl > 0:
+		cfg := prunesim.DefaultWorkload(*wl)
+		cfg.Trial = *trial
+		if *pattern == "constant" {
+			cfg.Pattern = workload.Constant
+		}
+		tasks := prunesim.GenerateWorkload(matrix, cfg)
+		if err := trace.WriteTasks(os.Stdout, tasks); err != nil {
+			fatal(err)
+		}
+	case *cell != "":
+		tt, mt, err := parseCell(matrix, *cell)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WritePETPMF(os.Stdout, matrix, tt, mt); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := trace.WritePETMeans(os.Stdout, matrix); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseCell resolves "gzip:sunfire-3800" or "0:6" to matrix indices.
+func parseCell(m *prunesim.PETMatrix, s string) (tt, mt int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("cell must be taskType:machineType, got %q", s)
+	}
+	tt = -1
+	for i := 0; i < m.NumTaskTypes(); i++ {
+		if m.TaskTypeName(i) == parts[0] {
+			tt = i
+		}
+	}
+	if tt < 0 {
+		if _, err := fmt.Sscanf(parts[0], "%d", &tt); err != nil {
+			return 0, 0, fmt.Errorf("unknown task type %q", parts[0])
+		}
+	}
+	mt = -1
+	for j := 0; j < m.NumMachineTypes(); j++ {
+		if m.MachineTypeName(j) == parts[1] {
+			mt = j
+		}
+	}
+	if mt < 0 {
+		if _, err := fmt.Sscanf(parts[1], "%d", &mt); err != nil {
+			return 0, 0, fmt.Errorf("unknown machine type %q", parts[1])
+		}
+	}
+	if tt < 0 || tt >= m.NumTaskTypes() || mt < 0 || mt >= m.NumMachineTypes() {
+		return 0, 0, fmt.Errorf("cell (%d,%d) out of range", tt, mt)
+	}
+	return tt, mt, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "petgen:", err)
+	os.Exit(1)
+}

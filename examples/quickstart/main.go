@@ -1,0 +1,71 @@
+// Quickstart walks through the paper's core ideas with the public API:
+//
+//  1. It reproduces the Figure-2 worked example — convolving a task's
+//     Probabilistic Execution Time (PET) with the queue's Probabilistic
+//     Completion Time (PCT) and reading off the chance of success.
+//  2. It runs the same oversubscribed workload through a Min-Min batch
+//     scheduler with and without the pruning mechanism and prints the
+//     robustness improvement.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"prunesim"
+)
+
+func main() {
+	fmt.Println("== Part 1: chance of success via PMF convolution (paper Fig. 2) ==")
+	// PET of the arriving task i on machine j: 1 w.p. .75, 2 w.p. .125,
+	// 3 w.p. .125 (time units).
+	petPMF := prunesim.NewPMF(1, 1, []float64{0.75, 0.125, 0.125}, 0)
+	// PCT of the last task already queued on machine j: 4 w.p. .5,
+	// 5 w.p. .33, 6 w.p. .17.
+	queuePCT := prunesim.NewPMF(4, 1, []float64{0.5, 0.33, 0.17}, 0)
+	// Eq. 1: PCT(i,j) = PET(i,j) * PCT(i-1,j)   (convolution)
+	pct := petPMF.Convolve(queuePCT)
+	times, masses := pct.Support()
+	fmt.Println("completion-time distribution of the arriving task:")
+	for k := range times {
+		fmt.Printf("  t=%.0f  p=%.5f\n", times[k], masses[k])
+	}
+	// Eq. 2: S(i,j) = P(PCT <= deadline).
+	for _, deadline := range []float64{5, 7, 9} {
+		fmt.Printf("chance of success with deadline %g: %.1f%%\n", deadline, 100*pct.ProbLE(deadline))
+	}
+
+	fmt.Println()
+	fmt.Println("== Part 2: pruning an oversubscribed serverless platform ==")
+	matrix := prunesim.StandardPET()
+	workload := prunesim.DefaultWorkload(20000) // moderately oversubscribed
+
+	for _, pruned := range []bool{false, true} {
+		pruning := prunesim.NoPruning(matrix.NumTaskTypes())
+		label := "baseline (no pruning)"
+		if pruned {
+			pruning = prunesim.DefaultPruning(matrix.NumTaskTypes())
+			label = "with pruning mechanism"
+		}
+		platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+			Matrix:          matrix,
+			Heuristic:       "MM",
+			Pruning:         pruning,
+			Seed:            1,
+			ExcludeBoundary: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := platform.RunTrial(workload, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-24s robustness %5.1f%%  (on-time %d, late %d, dropped %d, deferred %d times)\n",
+			label, res.Robustness, res.OnTime, res.Late,
+			res.DroppedReactive+res.DroppedProactive, res.Deferrals)
+	}
+}

@@ -1,0 +1,127 @@
+// Package calibration validates the probabilistic machinery the pruning
+// mechanism stands on: if the chance-of-success estimator (Eq. 2, PMF
+// convolution along machine queues) is well calibrated, tasks mapped with a
+// predicted chance of p should complete on time with empirical frequency
+// close to p. A pruning threshold is only meaningful if this holds — it is
+// the reproduction's analogue of validating the stochastic model against
+// the testbed.
+//
+// Assess runs a simulation with an observer that records every task's
+// predicted chance at its final mapping, joins the predictions with the
+// realized outcomes, and bins them into a reliability table.
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"prunesim/internal/pet"
+	"prunesim/internal/sim"
+	"prunesim/internal/task"
+)
+
+// Bin is one row of the reliability table: tasks whose predicted chance at
+// mapping time fell in [Lo, Hi).
+type Bin struct {
+	Lo, Hi float64
+	// N is the number of mapped tasks in the bin.
+	N int
+	// MeanPredicted is the average predicted chance in the bin.
+	MeanPredicted float64
+	// EmpiricalOnTime is the fraction that actually completed on time.
+	EmpiricalOnTime float64
+}
+
+// Gap returns the calibration error of the bin (empirical - predicted).
+func (b Bin) Gap() float64 { return b.EmpiricalOnTime - b.MeanPredicted }
+
+// Report is a reliability table over equal-width chance bins.
+type Report struct {
+	Bins []Bin
+	// Mapped is the number of tasks with a recorded prediction.
+	Mapped int
+	// MeanAbsGap is the N-weighted mean absolute calibration error across
+	// non-empty bins.
+	MeanAbsGap float64
+}
+
+// String renders the reliability table.
+func (r *Report) String() string {
+	s := "predicted chance -> empirical on-time rate\n"
+	for _, b := range r.Bins {
+		if b.N == 0 {
+			continue
+		}
+		s += fmt.Sprintf("  [%3.0f%%,%3.0f%%)  n=%-6d predicted %5.1f%%  empirical %5.1f%%  gap %+5.1f\n",
+			100*b.Lo, 100*b.Hi, b.N, 100*b.MeanPredicted, 100*b.EmpiricalOnTime, 100*b.Gap())
+	}
+	s += fmt.Sprintf("  mapped tasks: %d   mean |gap|: %.1f%%", r.Mapped, 100*r.MeanAbsGap)
+	return s
+}
+
+// Assess runs one simulation and returns its reliability table with the
+// given number of equal-width chance bins. The provided config must not
+// already set an Observer (Assess installs its own); tasks are mutated as
+// in sim.Run.
+//
+// Tasks whose queue ahead was later shortened by drops finish earlier than
+// predicted, so a positive gap (empirical above predicted) is expected when
+// pruning is active; the estimator is conservative, never optimistic.
+func Assess(matrix *pet.Matrix, tasks []*task.Task, cfg sim.Config, bins int) (*Report, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("calibration: need at least 2 bins, got %d", bins)
+	}
+	if cfg.Observer != nil {
+		return nil, fmt.Errorf("calibration: config already has an Observer")
+	}
+	// Record the prediction attached to each task's final mapping (a task
+	// deferred and remapped keeps its last prediction, matching the mapping
+	// that actually dispatched it).
+	predictions := make(map[int]float64, len(tasks))
+	cfg.Observer = func(ev sim.TraceEvent) {
+		if ev.Kind == sim.TraceMapped && ev.Chance >= 0 {
+			predictions[ev.TaskID] = ev.Chance
+		}
+	}
+	if _, err := sim.Run(matrix, tasks, cfg); err != nil {
+		return nil, err
+	}
+	report := &Report{Bins: make([]Bin, bins)}
+	width := 1.0 / float64(bins)
+	for i := range report.Bins {
+		report.Bins[i].Lo = float64(i) * width
+		report.Bins[i].Hi = float64(i+1) * width
+	}
+	sums := make([]float64, bins)
+	onTime := make([]int, bins)
+	for _, t := range tasks {
+		p, ok := predictions[t.ID]
+		if !ok {
+			continue // never mapped (dropped from the batch queue)
+		}
+		report.Mapped++
+		i := int(p / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		report.Bins[i].N++
+		sums[i] += p
+		if t.Status == task.StatusCompletedOnTime {
+			onTime[i]++
+		}
+	}
+	var gapSum float64
+	for i := range report.Bins {
+		if report.Bins[i].N == 0 {
+			continue
+		}
+		n := float64(report.Bins[i].N)
+		report.Bins[i].MeanPredicted = sums[i] / n
+		report.Bins[i].EmpiricalOnTime = float64(onTime[i]) / n
+		gapSum += math.Abs(report.Bins[i].Gap()) * n
+	}
+	if report.Mapped > 0 {
+		report.MeanAbsGap = gapSum / float64(report.Mapped)
+	}
+	return report, nil
+}

@@ -1,0 +1,134 @@
+package calibration
+
+import (
+	"strings"
+	"testing"
+
+	"prunesim/internal/core"
+	"prunesim/internal/pet"
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+	"prunesim/internal/task"
+	"prunesim/internal/workload"
+)
+
+var matrix = pet.Standard(pet.DefaultParams())
+
+func testTasks(n, trial int) []*task.Task {
+	cfg := workload.DefaultConfig(n)
+	cfg.TimeSpan = 900
+	cfg.NumSpikes = 3
+	cfg.Trial = trial
+	return workload.Generate(matrix, cfg)
+}
+
+func baseCfg(prune core.Config) sim.Config {
+	return sim.Config{
+		Mode: sim.BatchMode, Heuristic: sched.NewMM(),
+		MachineTypes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Prune:        prune, Seed: 9, ExcludeBoundary: 50,
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	tasks := testTasks(500, 0)
+	if _, err := Assess(matrix, tasks, baseCfg(core.Disabled(12)), 1); err == nil {
+		t.Error("bins=1 accepted")
+	}
+	cfg := baseCfg(core.Disabled(12))
+	cfg.Observer = func(sim.TraceEvent) {}
+	if _, err := Assess(matrix, tasks, cfg, 10); err == nil {
+		t.Error("pre-set observer accepted")
+	}
+	bad := baseCfg(core.Disabled(12))
+	bad.MachineTypes = nil
+	if _, err := Assess(matrix, tasks, bad, 10); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+}
+
+func TestEstimatorIsCalibrated(t *testing.T) {
+	// Without pruning (no queue-shortening drops ahead of mapped tasks),
+	// predicted chance at mapping should track realized on-time frequency.
+	rep, err := Assess(matrix, testTasks(4000, 1), baseCfg(core.Disabled(12)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mapped == 0 {
+		t.Fatal("no predictions recorded")
+	}
+	// Monotone trend: the top populated bin must empirically beat the
+	// bottom populated bin by a wide margin.
+	var lo, hi *Bin
+	for i := range rep.Bins {
+		b := &rep.Bins[i]
+		if b.N < 30 {
+			continue
+		}
+		if lo == nil {
+			lo = b
+		}
+		hi = b
+	}
+	if lo == nil || hi == nil || lo == hi {
+		t.Skipf("not enough populated bins: %+v", rep.Bins)
+	}
+	if hi.EmpiricalOnTime <= lo.EmpiricalOnTime {
+		t.Fatalf("reliability not increasing: low bin %.2f, high bin %.2f",
+			lo.EmpiricalOnTime, hi.EmpiricalOnTime)
+	}
+	// Global calibration error: generous bound — the estimator ignores
+	// later queue changes, but must be in the right ballpark.
+	if rep.MeanAbsGap > 0.20 {
+		t.Fatalf("mean |gap| %.1f%% too large:\n%s", 100*rep.MeanAbsGap, rep)
+	}
+}
+
+func TestEstimatorConservativeUnderPruning(t *testing.T) {
+	// With pruning active, drops shorten queues after mapping, so realized
+	// on-time frequency should meet or exceed prediction on average (the
+	// N-weighted mean gap must not be clearly negative).
+	rep, err := Assess(matrix, testTasks(4000, 2), baseCfg(core.DefaultConfig(12)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weighted float64
+	for _, b := range rep.Bins {
+		weighted += b.Gap() * float64(b.N)
+	}
+	weighted /= float64(rep.Mapped)
+	if weighted < -0.10 {
+		t.Fatalf("estimator optimistic under pruning: mean gap %.1f%%\n%s", 100*weighted, rep)
+	}
+}
+
+func TestHighChanceBinsNearPerfect(t *testing.T) {
+	rep, err := Assess(matrix, testTasks(3000, 3), baseCfg(core.DefaultConfig(12)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := rep.Bins[len(rep.Bins)-1]
+	if top.N > 50 && top.EmpiricalOnTime < 0.75 {
+		t.Fatalf("tasks mapped at 90%%+ chance only %.0f%% on time", 100*top.EmpiricalOnTime)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Assess(matrix, testTasks(1000, 4), baseCfg(core.Disabled(12)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, frag := range []string{"predicted chance", "mapped tasks:", "mean |gap|"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestBinGap(t *testing.T) {
+	b := Bin{MeanPredicted: 0.6, EmpiricalOnTime: 0.7}
+	if g := b.Gap(); g < 0.1-1e-12 || g > 0.1+1e-12 {
+		t.Fatalf("gap %v, want 0.1", g)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+// Accounting is the telemetry module of Figure 4: it gathers task outcome
+// information from the resource-allocation system and serves it to the
+// Toggle (deadline misses since the previous mapping event) and to
+// observers (per-type outcome counts, used both by the Fairness analysis
+// and by the experiment harness).
+type Accounting struct {
+	onTime    []int64
+	late      []int64
+	reactive  []int64
+	proactive []int64
+	deferrals []int64
+
+	missesSinceEvent int
+}
+
+// NewAccounting creates counters for n task types.
+func NewAccounting(n int) *Accounting {
+	if n <= 0 {
+		panic("core: Accounting requires at least one task type")
+	}
+	return &Accounting{
+		onTime:    make([]int64, n),
+		late:      make([]int64, n),
+		reactive:  make([]int64, n),
+		proactive: make([]int64, n),
+		deferrals: make([]int64, n),
+	}
+}
+
+// RecordCompletion counts a finished task; late completions count as
+// deadline misses for the Toggle window.
+func (a *Accounting) RecordCompletion(taskType int, onTime bool) {
+	if onTime {
+		a.onTime[taskType]++
+		return
+	}
+	a.late[taskType]++
+	a.missesSinceEvent++
+}
+
+// RecordReactiveDrop counts a deadline-miss drop; it feeds the Toggle
+// window.
+func (a *Accounting) RecordReactiveDrop(taskType int) {
+	a.reactive[taskType]++
+	a.missesSinceEvent++
+}
+
+// RecordProactiveDrop counts a probabilistic drop. Proactive drops are a
+// scheduling decision, not an observed miss, so they do not feed the Toggle
+// window (a toggle fed by its own drops would never disengage).
+func (a *Accounting) RecordProactiveDrop(taskType int) {
+	a.proactive[taskType]++
+}
+
+// RecordDeferral counts a deferring decision.
+func (a *Accounting) RecordDeferral(taskType int) {
+	a.deferrals[taskType]++
+}
+
+// MissesSinceEvent returns the deadline misses observed since the previous
+// mapping event (late completions plus reactive drops).
+func (a *Accounting) MissesSinceEvent() int { return a.missesSinceEvent }
+
+// ResetEventWindow clears the per-event miss counter; called by the Pruner
+// at the start of each mapping event.
+func (a *Accounting) ResetEventWindow() { a.missesSinceEvent = 0 }
+
+// OnTime returns per-type on-time completion counts (copy).
+func (a *Accounting) OnTime() []int64 { return append([]int64(nil), a.onTime...) }
+
+// Late returns per-type late completion counts (copy).
+func (a *Accounting) Late() []int64 { return append([]int64(nil), a.late...) }
+
+// ReactiveDrops returns per-type reactive drop counts (copy).
+func (a *Accounting) ReactiveDrops() []int64 { return append([]int64(nil), a.reactive...) }
+
+// ProactiveDrops returns per-type proactive drop counts (copy).
+func (a *Accounting) ProactiveDrops() []int64 { return append([]int64(nil), a.proactive...) }
+
+// Deferrals returns per-type deferral counts (copy).
+func (a *Accounting) Deferrals() []int64 { return append([]int64(nil), a.deferrals...) }
+
+// TotalDropped returns the total number of dropped tasks of type k.
+func (a *Accounting) TotalDropped(taskType int) int64 {
+	return a.reactive[taskType] + a.proactive[taskType]
+}

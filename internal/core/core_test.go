@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig(12)
+	if c.Threshold != 0.5 {
+		t.Errorf("Threshold = %v, want 0.5", c.Threshold)
+	}
+	if c.FairnessFactor != 0.05 {
+		t.Errorf("FairnessFactor = %v, want 0.05", c.FairnessFactor)
+	}
+	if c.DropMode != ToggleReactive || c.DropAlpha != 1 {
+		t.Errorf("Toggle = %v/%d, want reactive/1", c.DropMode, c.DropAlpha)
+	}
+	if !c.Enabled || !c.DeferEnabled {
+		t.Error("defaults should enable pruning and deferring")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumTaskTypes: 0},
+		{NumTaskTypes: 3, Threshold: -0.1},
+		{NumTaskTypes: 3, Threshold: 1.1},
+		{NumTaskTypes: 3, FairnessFactor: -1},
+		{NumTaskTypes: 3, DropMode: ToggleMode(9)},
+		{NumTaskTypes: 3, DropMode: ToggleReactive, DropAlpha: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation: %+v", i, c)
+		}
+	}
+	if err := Disabled(5).Validate(); err != nil {
+		t.Errorf("Disabled config invalid: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestToggleModes(t *testing.T) {
+	never := NewToggle(ToggleNever, 1)
+	always := NewToggle(ToggleAlways, 1)
+	reactive := NewToggle(ToggleReactive, 2)
+	for _, misses := range []int{0, 1, 5} {
+		if never.Engaged(misses) {
+			t.Errorf("never engaged at %d misses", misses)
+		}
+		if !always.Engaged(misses) {
+			t.Errorf("always not engaged at %d misses", misses)
+		}
+	}
+	if reactive.Engaged(1) {
+		t.Error("reactive(alpha=2) engaged below alpha")
+	}
+	if !reactive.Engaged(2) || !reactive.Engaged(7) {
+		t.Error("reactive(alpha=2) not engaged at/above alpha")
+	}
+}
+
+func TestToggleModeString(t *testing.T) {
+	if ToggleNever.String() != "never" || ToggleAlways.String() != "always" ||
+		ToggleReactive.String() != "reactive" || ToggleMode(9).String() != "unknown" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestFairnessScores(t *testing.T) {
+	f := NewFairness(3, 0.05)
+	f.OnDropped(1)
+	f.OnDropped(1)
+	if got := f.Score(1); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("score after two drops = %v, want 0.10", got)
+	}
+	f.OnCompletedOnTime(1)
+	if got := f.Score(1); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("score after completion = %v, want 0.05", got)
+	}
+	if f.Score(0) != 0 || f.Score(2) != 0 {
+		t.Fatal("unrelated types perturbed")
+	}
+}
+
+func TestFairnessClampsAtZero(t *testing.T) {
+	f := NewFairness(1, 0.05)
+	for i := 0; i < 100; i++ {
+		f.OnCompletedOnTime(0)
+	}
+	if f.Score(0) != 0 {
+		t.Fatalf("score = %v, want clamped 0", f.Score(0))
+	}
+}
+
+func TestFairnessValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewFairness(0, 0.05) },
+		func() { NewFairness(3, -0.01) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccountingWindows(t *testing.T) {
+	a := NewAccounting(2)
+	a.RecordCompletion(0, true)
+	a.RecordCompletion(0, false) // late -> miss
+	a.RecordReactiveDrop(1)      // miss
+	a.RecordProactiveDrop(1)     // not a miss
+	if got := a.MissesSinceEvent(); got != 2 {
+		t.Fatalf("misses = %d, want 2", got)
+	}
+	a.ResetEventWindow()
+	if a.MissesSinceEvent() != 0 {
+		t.Fatal("window did not reset")
+	}
+	if a.OnTime()[0] != 1 || a.Late()[0] != 1 || a.ReactiveDrops()[1] != 1 || a.ProactiveDrops()[1] != 1 {
+		t.Fatal("counters wrong")
+	}
+	if a.TotalDropped(1) != 2 {
+		t.Fatalf("TotalDropped = %d, want 2", a.TotalDropped(1))
+	}
+}
+
+func TestPrunerDisabledNeverPrunes(t *testing.T) {
+	p := New(Disabled(3))
+	p.RecordReactiveDrop(0)
+	p.BeginEvent()
+	if p.ShouldDrop(0.0, 0) || p.ShouldDefer(0.0, 0) {
+		t.Fatal("disabled pruner made a pruning decision")
+	}
+}
+
+func TestPrunerReactiveEngagement(t *testing.T) {
+	p := New(DefaultConfig(3))
+	// No misses -> not engaged.
+	p.BeginEvent()
+	if p.DroppingEngaged() {
+		t.Fatal("engaged without misses")
+	}
+	if p.ShouldDrop(0.1, 0) {
+		t.Fatal("dropped while disengaged")
+	}
+	// Deferring works regardless of the toggle.
+	if !p.ShouldDefer(0.1, 0) {
+		t.Fatal("defer should apply below threshold")
+	}
+	// A miss engages the next event.
+	p.RecordReactiveDrop(0)
+	p.BeginEvent()
+	if !p.DroppingEngaged() {
+		t.Fatal("not engaged after a miss")
+	}
+	if !p.ShouldDrop(0.5, 0) { // chance == threshold is pruned (<=)
+		t.Fatal("should drop at threshold")
+	}
+	if p.ShouldDrop(0.51, 0) {
+		t.Fatal("should not drop above threshold")
+	}
+	// Window was consumed: next event disengages again.
+	p.BeginEvent()
+	if p.DroppingEngaged() {
+		t.Fatal("engagement leaked across events")
+	}
+}
+
+func TestPrunerAlwaysMode(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.DropMode = ToggleAlways
+	p := New(cfg)
+	p.BeginEvent()
+	if !p.DroppingEngaged() {
+		t.Fatal("always mode should engage with zero misses")
+	}
+}
+
+func TestEffectiveThresholdFairness(t *testing.T) {
+	p := New(DefaultConfig(2))
+	if got := p.EffectiveThreshold(0); got != 0.5 {
+		t.Fatalf("base threshold %v", got)
+	}
+	// Three proactive drops: gamma = 0.15, threshold 0.35.
+	for i := 0; i < 3; i++ {
+		p.RecordProactiveDrop(0)
+	}
+	if got := p.EffectiveThreshold(0); math.Abs(got-0.35) > 1e-12 {
+		t.Fatalf("adjusted threshold %v, want 0.35", got)
+	}
+	if got := p.EffectiveThreshold(1); got != 0.5 {
+		t.Fatal("other type's threshold moved")
+	}
+	// Heavy suffering clamps at zero.
+	for i := 0; i < 100; i++ {
+		p.RecordProactiveDrop(0)
+	}
+	if got := p.EffectiveThreshold(0); got != 0 {
+		t.Fatalf("threshold should clamp at 0, got %v", got)
+	}
+}
+
+func TestFairnessProtectsSufferedType(t *testing.T) {
+	p := New(DefaultConfig(2))
+	p.RecordReactiveDrop(0)
+	p.BeginEvent()
+	chance := 0.45 // below base threshold
+	if !p.ShouldDrop(chance, 0) {
+		t.Fatal("precondition: chance below base threshold should drop")
+	}
+	// After two drops of type 0 the threshold falls to 0.40 < 0.45.
+	p.RecordProactiveDrop(0)
+	p.RecordProactiveDrop(0)
+	p.RecordReactiveDrop(0)
+	p.BeginEvent()
+	if p.ShouldDrop(chance, 0) {
+		t.Fatal("suffered type should be protected by fairness offset")
+	}
+}
+
+func TestDeferRequiresDeferEnabled(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.DeferEnabled = false
+	p := New(cfg)
+	p.BeginEvent()
+	if p.ShouldDefer(0.1, 0) {
+		t.Fatal("defer decision with deferring disabled")
+	}
+}
+
+func TestPrunerRecordCompletionLateCountsAsMiss(t *testing.T) {
+	p := New(DefaultConfig(1))
+	p.RecordCompletion(0, false)
+	p.BeginEvent()
+	if !p.DroppingEngaged() {
+		t.Fatal("late completion should engage reactive toggle")
+	}
+}
+
+// Property: the effective threshold is always within [0, 1] no matter the
+// sequence of drops and completions.
+func TestPropEffectiveThresholdBounded(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := New(DefaultConfig(1))
+		for _, drop := range ops {
+			if drop {
+				p.RecordProactiveDrop(0)
+			} else {
+				p.RecordCompletion(0, true)
+			}
+			th := p.EffectiveThreshold(0)
+			if th < 0 || th > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package core implements the paper's primary contribution: the
+// probabilistic task pruning mechanism (Section IV, Figures 4 and 5). The
+// mechanism plugs into an existing resource-allocation system without
+// altering its mapping heuristic and makes two kinds of pruning decisions:
+//
+//   - Deferring: postpone mapping a batch-queue task whose chance of success
+//     on its assigned machine is below the pruning threshold, so a
+//     higher-affinity machine may pick it up at a later mapping event.
+//   - Dropping: under sufficient oversubscription (detected by the Toggle
+//     module), evict machine-queued tasks whose chance of success is below
+//     the threshold, raising the chance of the tasks behind them.
+//
+// The Fairness module biases the threshold per task type with a "sufferage"
+// score so the pruner does not systematically starve long task types, and
+// the Accounting module gathers the completion/drop/miss telemetry the other
+// modules consume. The file structure mirrors the paper's architecture:
+// toggle.go, fairness.go and accounting.go hold the three support modules;
+// this file holds the Pruner that composes them.
+package core
+
+import "fmt"
+
+// Config is the "Pruning Configuration" input of Figure 4.
+type Config struct {
+	// Enabled is the master switch. When false the pruner only performs the
+	// baseline behaviour every system in the paper has: reactive dropping of
+	// tasks that already missed their deadlines (handled by the simulator).
+	Enabled bool
+	// Threshold is the pruning threshold beta in [0, 1]: tasks whose chance
+	// of success is at or below the (fairness-adjusted) threshold are
+	// pruned. The paper's default is 0.5.
+	Threshold float64
+	// DeferEnabled enables the deferring operation. Deferring requires an
+	// arrival queue, so it only takes effect in batch-mode allocation.
+	DeferEnabled bool
+	// DropMode selects when proactive dropping engages.
+	DropMode ToggleMode
+	// DropAlpha is the reactive Toggle's oversubscription threshold: the
+	// number of deadline misses since the previous mapping event at or above
+	// which dropping engages. The paper's reactive configuration uses 1.
+	DropAlpha int
+	// FairnessFactor is the constant c by which a task type's sufferage
+	// score changes on drops and on-time completions. 0 disables fairness.
+	FairnessFactor float64
+	// ValueAware enables the cost/priority-aware pruning extension the
+	// paper's Section VII sketches as future work: the effective pruning
+	// threshold of a task is scaled by ValueRef/value (bounded to [0.5,
+	// 1.5]), so high-value tasks are pruned more conservatively and
+	// low-value tasks more aggressively — while even the most valuable task
+	// is still pruned when its chance falls below half the base threshold,
+	// which keeps the mechanism from readmitting hopeless work. With all
+	// task values at ValueRef it is a no-op.
+	ValueAware bool
+	// ValueRef is the reference (typical) task value the scaling is
+	// centred on; zero defaults to 1.
+	ValueRef float64
+	// NumTaskTypes sizes the per-type fairness and accounting tables.
+	NumTaskTypes int
+}
+
+// DefaultConfig returns the paper's default pruning configuration
+// (Section V-A): threshold 50%, fairness factor 0.05, reactive Toggle,
+// deferring on.
+func DefaultConfig(numTaskTypes int) Config {
+	return Config{
+		Enabled:        true,
+		Threshold:      0.5,
+		DeferEnabled:   true,
+		DropMode:       ToggleReactive,
+		DropAlpha:      1,
+		FairnessFactor: 0.05,
+		NumTaskTypes:   numTaskTypes,
+	}
+}
+
+// Disabled returns a configuration with probabilistic pruning fully off —
+// the unpruned baselines of every figure.
+func Disabled(numTaskTypes int) Config {
+	return Config{Enabled: false, DropMode: ToggleNever, NumTaskTypes: numTaskTypes}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.NumTaskTypes <= 0:
+		return fmt.Errorf("core: NumTaskTypes must be positive, got %d", c.NumTaskTypes)
+	case c.Threshold < 0 || c.Threshold > 1:
+		return fmt.Errorf("core: Threshold must be in [0,1], got %v", c.Threshold)
+	case c.FairnessFactor < 0:
+		return fmt.Errorf("core: FairnessFactor must be non-negative, got %v", c.FairnessFactor)
+	case c.DropMode > ToggleReactive:
+		return fmt.Errorf("core: unknown DropMode %d", c.DropMode)
+	case c.DropMode == ToggleReactive && c.DropAlpha < 1:
+		return fmt.Errorf("core: reactive Toggle requires DropAlpha >= 1, got %d", c.DropAlpha)
+	}
+	return nil
+}
+
+// Pruner composes the Toggle, Fairness and Accounting modules into the
+// pruning mechanism of Figure 4. The simulator drives it with the Record*
+// telemetry callbacks and queries Should* at each mapping event.
+type Pruner struct {
+	cfg  Config
+	tog  *Toggle
+	fair *Fairness
+	acct *Accounting
+
+	engaged bool // dropping engaged for the current mapping event
+}
+
+// New constructs a Pruner. It panics if cfg fails validation (a
+// misconfigured pruner silently skews experiments, so this is fail-fast by
+// design).
+func New(cfg Config) *Pruner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pruner{
+		cfg:  cfg,
+		tog:  NewToggle(cfg.DropMode, cfg.DropAlpha),
+		fair: NewFairness(cfg.NumTaskTypes, cfg.FairnessFactor),
+		acct: NewAccounting(cfg.NumTaskTypes),
+	}
+}
+
+// Config returns the active configuration.
+func (p *Pruner) Config() Config { return p.cfg }
+
+// Accounting exposes the telemetry module (read-only use expected).
+func (p *Pruner) Accounting() *Accounting { return p.acct }
+
+// Fairness exposes the fairness module (read-only use expected).
+func (p *Pruner) Fairness() *Fairness { return p.fair }
+
+// BeginEvent starts a mapping event (Figure 5 preamble): it consults the
+// Toggle with the deadline misses observed since the previous event and
+// latches whether dropping is engaged for this event, then resets the
+// per-event miss counter.
+func (p *Pruner) BeginEvent() {
+	p.engaged = p.cfg.Enabled && p.tog.Engaged(p.acct.MissesSinceEvent())
+	p.acct.ResetEventWindow()
+}
+
+// DroppingEngaged reports whether proactive dropping is active for the
+// current mapping event (latched by BeginEvent).
+func (p *Pruner) DroppingEngaged() bool { return p.engaged }
+
+// RecordCompletion feeds a finished task into Accounting and Fairness
+// (Figure 5 step 2): an on-time completion of type k lowers the type's
+// sufferage score; a late completion counts as a deadline miss for the
+// Toggle.
+func (p *Pruner) RecordCompletion(taskType int, onTime bool) {
+	p.acct.RecordCompletion(taskType, onTime)
+	if onTime {
+		p.fair.OnCompletedOnTime(taskType)
+	}
+}
+
+// RecordReactiveDrop feeds a deadline-miss drop into Accounting; reactive
+// misses are what the reactive Toggle reacts to.
+func (p *Pruner) RecordReactiveDrop(taskType int) {
+	p.acct.RecordReactiveDrop(taskType)
+}
+
+// RecordProactiveDrop feeds a probabilistic drop into Accounting and raises
+// the type's sufferage score (Figure 5 step 6).
+func (p *Pruner) RecordProactiveDrop(taskType int) {
+	p.acct.RecordProactiveDrop(taskType)
+	p.fair.OnDropped(taskType)
+}
+
+// RecordDeferral counts a deferring decision.
+func (p *Pruner) RecordDeferral(taskType int) { p.acct.RecordDeferral(taskType) }
+
+// EffectiveThreshold returns the fairness-adjusted pruning threshold
+// beta - gamma_k for task type k, clamped to [0, 1].
+func (p *Pruner) EffectiveThreshold(taskType int) float64 {
+	th := p.cfg.Threshold - p.fair.Score(taskType)
+	if th < 0 {
+		return 0
+	}
+	if th > 1 {
+		return 1
+	}
+	return th
+}
+
+// ShouldDrop implements Figure 5 step 6: with dropping engaged, a
+// machine-queued task of type k whose chance of success is at or below
+// beta - gamma_k is dropped. Callers must invoke BeginEvent first.
+func (p *Pruner) ShouldDrop(chance float64, taskType int) bool {
+	return p.ShouldDropValued(chance, taskType, 1)
+}
+
+// ShouldDropValued is ShouldDrop for a task with an explicit value; see
+// Config.ValueAware. A non-positive value is treated as 1.
+func (p *Pruner) ShouldDropValued(chance float64, taskType int, value float64) bool {
+	if !p.cfg.Enabled || !p.engaged {
+		return false
+	}
+	return chance <= p.valuedThreshold(taskType, value)
+}
+
+// ShouldDefer implements Figure 5 step 10: a batch-queue task mapped by the
+// heuristic is deferred to the next mapping event if its chance of success
+// on the assigned machine is at or below beta - gamma_k.
+func (p *Pruner) ShouldDefer(chance float64, taskType int) bool {
+	return p.ShouldDeferValued(chance, taskType, 1)
+}
+
+// ShouldDeferValued is ShouldDefer for a task with an explicit value; see
+// Config.ValueAware. A non-positive value is treated as 1.
+func (p *Pruner) ShouldDeferValued(chance float64, taskType int, value float64) bool {
+	if !p.cfg.Enabled || !p.cfg.DeferEnabled {
+		return false
+	}
+	return chance <= p.valuedThreshold(taskType, value)
+}
+
+// valuedThreshold applies the value-aware scaling to the fairness-adjusted
+// threshold: the threshold is multiplied by ValueRef/value, bounded to
+// [0.5, 1.5] and finally clamped to [0, 1]. A task worth twice the
+// reference must have a chance below half the usual threshold to be pruned;
+// a task worth half the reference is pruned up to 1.5x the threshold. The
+// bounds guarantee that hopeless tasks are pruned regardless of value and
+// that low-value tasks with solid chances survive.
+func (p *Pruner) valuedThreshold(taskType int, value float64) float64 {
+	th := p.EffectiveThreshold(taskType)
+	if !p.cfg.ValueAware || value <= 0 {
+		return th
+	}
+	ref := p.cfg.ValueRef
+	if ref <= 0 {
+		ref = 1
+	}
+	factor := ref / value
+	if factor < 0.5 {
+		factor = 0.5
+	}
+	if factor > 1.5 {
+		factor = 1.5
+	}
+	th *= factor
+	if th > 1 {
+		return 1
+	}
+	return th
+}

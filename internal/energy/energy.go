@@ -1,0 +1,110 @@
+// Package energy implements the paper's Section VII future-work analysis:
+// quantifying the computing power and incurred cloud cost that probabilistic
+// task pruning saves by not executing failing tasks. The model is
+// deliberately simple — machines draw active power while executing and idle
+// power otherwise, and cost accrues per machine-hour — because the paper's
+// claim is relative ("pruning improves energy efficiency by saving the
+// computing power that is otherwise wasted to execute failing tasks"), not
+// absolute.
+package energy
+
+import (
+	"fmt"
+
+	"prunesim/internal/sim"
+)
+
+// Params models the cluster's power draw and price.
+type Params struct {
+	// ActiveWatts is a machine's power draw while executing a task.
+	ActiveWatts float64
+	// IdleWatts is a machine's power draw while idle.
+	IdleWatts float64
+	// DollarsPerMachineHour is the on-demand price of one machine.
+	DollarsPerMachineHour float64
+	// SecondsPerTimeUnit converts simulator time units to wall seconds.
+	SecondsPerTimeUnit float64
+}
+
+// DefaultParams returns a representative mid-size server profile: 250W
+// active, 90W idle, $0.34/machine-hour (on-demand mid-tier cloud VM), one
+// simulated time unit = one second.
+func DefaultParams() Params {
+	return Params{
+		ActiveWatts:           250,
+		IdleWatts:             90,
+		DollarsPerMachineHour: 0.34,
+		SecondsPerTimeUnit:    1,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.ActiveWatts <= 0 || p.IdleWatts < 0:
+		return fmt.Errorf("energy: power draws must be positive (active) and non-negative (idle)")
+	case p.IdleWatts > p.ActiveWatts:
+		return fmt.Errorf("energy: idle draw %v exceeds active draw %v", p.IdleWatts, p.ActiveWatts)
+	case p.DollarsPerMachineHour < 0:
+		return fmt.Errorf("energy: negative price")
+	case p.SecondsPerTimeUnit <= 0:
+		return fmt.Errorf("energy: SecondsPerTimeUnit must be positive")
+	}
+	return nil
+}
+
+// Report is the energy/cost view of one simulation run.
+type Report struct {
+	// TotalJoules is the cluster's total energy use over the makespan.
+	TotalJoules float64
+	// WastedJoules is the active-power energy spent executing tasks that
+	// completed after their deadlines (no value produced).
+	WastedJoules float64
+	// WastedFraction is WastedJoules / TotalJoules.
+	WastedFraction float64
+	// TotalDollars is the machine-hour cost of the whole run.
+	TotalDollars float64
+	// WastedDollars apportions cost to the wasted busy time.
+	WastedDollars float64
+	// JoulesPerOnTimeTask is the energy efficiency metric: total energy per
+	// task that completed on time.
+	JoulesPerOnTimeTask float64
+}
+
+// Analyze converts a simulation result into an energy/cost report. machines
+// is the cluster size the result was produced with. It returns an error on
+// invalid parameters or a degenerate result.
+func Analyze(res *sim.Result, machines int, p Params) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if res == nil || machines <= 0 {
+		return nil, fmt.Errorf("energy: need a result and a positive machine count")
+	}
+	if res.Makespan <= 0 {
+		return nil, fmt.Errorf("energy: result has no makespan")
+	}
+	busySec := res.BusyTime * p.SecondsPerTimeUnit
+	wastedSec := res.WastedTime * p.SecondsPerTimeUnit
+	spanSec := res.Makespan * p.SecondsPerTimeUnit
+	idleSec := float64(machines)*spanSec - busySec
+	if idleSec < 0 {
+		idleSec = 0
+	}
+	r := &Report{
+		TotalJoules:  busySec*p.ActiveWatts + idleSec*p.IdleWatts,
+		WastedJoules: wastedSec * p.ActiveWatts,
+	}
+	if r.TotalJoules > 0 {
+		r.WastedFraction = r.WastedJoules / r.TotalJoules
+	}
+	machineHours := float64(machines) * spanSec / 3600
+	r.TotalDollars = machineHours * p.DollarsPerMachineHour
+	if span := float64(machines) * spanSec; span > 0 {
+		r.WastedDollars = r.TotalDollars * wastedSec / span
+	}
+	if res.OnTime > 0 {
+		r.JoulesPerOnTimeTask = r.TotalJoules / float64(res.OnTime)
+	}
+	return r, nil
+}

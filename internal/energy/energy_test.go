@@ -1,0 +1,110 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"prunesim/internal/sim"
+)
+
+func sampleResult() *sim.Result {
+	return &sim.Result{
+		OnTime:     100,
+		BusyTime:   500,
+		WastedTime: 100,
+		Makespan:   100,
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	p := Params{ActiveWatts: 200, IdleWatts: 50, DollarsPerMachineHour: 0.36, SecondsPerTimeUnit: 1}
+	r, err := Analyze(sampleResult(), 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// busy=500s active + idle=(8*100-500)=300s idle.
+	wantTotal := 500*200.0 + 300*50.0
+	if math.Abs(r.TotalJoules-wantTotal) > 1e-9 {
+		t.Fatalf("TotalJoules = %v, want %v", r.TotalJoules, wantTotal)
+	}
+	if math.Abs(r.WastedJoules-100*200.0) > 1e-9 {
+		t.Fatalf("WastedJoules = %v", r.WastedJoules)
+	}
+	if math.Abs(r.WastedFraction-r.WastedJoules/r.TotalJoules) > 1e-12 {
+		t.Fatalf("WastedFraction inconsistent")
+	}
+	// 8 machines * 100s / 3600 * 0.36 $/h = 0.08 $.
+	if math.Abs(r.TotalDollars-0.08) > 1e-9 {
+		t.Fatalf("TotalDollars = %v, want 0.08", r.TotalDollars)
+	}
+	// Wasted dollars: 100/800 of the cost.
+	if math.Abs(r.WastedDollars-0.01) > 1e-9 {
+		t.Fatalf("WastedDollars = %v, want 0.01", r.WastedDollars)
+	}
+	if math.Abs(r.JoulesPerOnTimeTask-wantTotal/100) > 1e-9 {
+		t.Fatalf("JoulesPerOnTimeTask = %v", r.JoulesPerOnTimeTask)
+	}
+}
+
+func TestAnalyzeTimeUnitScaling(t *testing.T) {
+	p := DefaultParams()
+	p.SecondsPerTimeUnit = 2
+	a, err := Analyze(sampleResult(), 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SecondsPerTimeUnit = 1
+	b, err := Analyze(sampleResult(), 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TotalJoules-2*b.TotalJoules) > 1e-9 {
+		t.Fatalf("doubling time unit should double energy: %v vs %v", a.TotalJoules, b.TotalJoules)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	good := DefaultParams()
+	if _, err := Analyze(nil, 8, good); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Analyze(sampleResult(), 0, good); err == nil {
+		t.Error("zero machines accepted")
+	}
+	zero := sampleResult()
+	zero.Makespan = 0
+	if _, err := Analyze(zero, 8, good); err == nil {
+		t.Error("zero makespan accepted")
+	}
+	bad := []Params{
+		{ActiveWatts: 0, IdleWatts: 0, SecondsPerTimeUnit: 1},
+		{ActiveWatts: 100, IdleWatts: -1, SecondsPerTimeUnit: 1},
+		{ActiveWatts: 100, IdleWatts: 200, SecondsPerTimeUnit: 1},
+		{ActiveWatts: 100, IdleWatts: 10, DollarsPerMachineHour: -1, SecondsPerTimeUnit: 1},
+		{ActiveWatts: 100, IdleWatts: 10, SecondsPerTimeUnit: 0},
+	}
+	for i, p := range bad {
+		if _, err := Analyze(sampleResult(), 8, p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleClampedNonNegative(t *testing.T) {
+	// BusyTime exceeding machines*makespan (impossible physically, but
+	// guard anyway) must not produce negative idle energy.
+	r := &sim.Result{OnTime: 1, BusyTime: 1e6, WastedTime: 0, Makespan: 1}
+	rep, err := Analyze(r, 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalJoules < 1e6*DefaultParams().ActiveWatts {
+		t.Fatal("idle energy went negative")
+	}
+}

@@ -1,0 +1,96 @@
+// Package eventq provides the time-ordered priority queue that drives the
+// discrete-event simulator. Events with equal timestamps pop in insertion
+// order (FIFO tie-break), which keeps simulations deterministic.
+package eventq
+
+import "container/heap"
+
+// Kind discriminates simulator events.
+type Kind uint8
+
+const (
+	// KindArrival is a task arriving at the resource allocator.
+	KindArrival Kind = iota
+	// KindCompletion is a machine finishing its running task.
+	KindCompletion
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindCompletion:
+		return "completion"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a scheduled simulator occurrence. TaskID and Machine carry the
+// payload (Machine is -1 for arrivals).
+type Event struct {
+	Time    float64
+	Kind    Kind
+	TaskID  int
+	Machine int
+
+	seq uint64 // insertion order for deterministic tie-breaking
+}
+
+// Queue is a min-heap of events ordered by (Time, insertion order). The zero
+// value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules an event.
+func (q *Queue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. It panics if the queue is
+// empty; check Len first.
+func (q *Queue) Pop() Event {
+	if len(q.h) == 0 {
+		panic("eventq: Pop on empty queue")
+	}
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it. It panics if empty.
+func (q *Queue) Peek() Event {
+	if len(q.h) == 0 {
+		panic("eventq: Peek on empty queue")
+	}
+	return q.h[0]
+}
+
+// Len returns the number of scheduled events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

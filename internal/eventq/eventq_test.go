@@ -1,0 +1,118 @@
+package eventq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 3, Kind: KindArrival, TaskID: 3})
+	q.Push(Event{Time: 1, Kind: KindArrival, TaskID: 1})
+	q.Push(Event{Time: 2, Kind: KindCompletion, TaskID: 2})
+	var order []int
+	for q.Len() > 0 {
+		order = append(order, q.Pop().TaskID)
+	}
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Fatalf("pop order %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{Time: 5, TaskID: i})
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop().TaskID; got != i {
+			t.Fatalf("tie-break violated: got %d at position %d", got, i)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 2, TaskID: 7})
+	q.Push(Event{Time: 1, TaskID: 8})
+	if got := q.Peek().TaskID; got != 8 {
+		t.Fatalf("Peek = %d", got)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { new(Queue).Pop() },
+		func() { new(Queue).Peek() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindArrival.String() != "arrival" || KindCompletion.String() != "completion" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+// Property: popping returns events in non-decreasing time order regardless of
+// insertion order.
+func TestPropSorted(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		for i, tm := range times {
+			if tm < 0 {
+				tm = -tm
+			}
+			q.Push(Event{Time: tm, TaskID: i})
+		}
+		prev := -1.0
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			n := r.Intn(64)
+			ts := make([]float64, n)
+			for i := range ts {
+				ts[i] = r.Float64() * 100
+			}
+			v[0] = reflect.ValueOf(ts)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(Event{Time: float64(i % 97)})
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}

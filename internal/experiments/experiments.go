@@ -1,0 +1,233 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section V) plus the ablation and extension studies listed in DESIGN.md.
+// Each figure is a named driver that sweeps the relevant configurations,
+// runs N independent workload trials per point (the paper uses 30), and
+// reports mean robustness with a 95% confidence interval.
+//
+// Trials are embarrassingly parallel and run on a bounded worker pool.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"prunesim/internal/core"
+	"prunesim/internal/pet"
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+	"prunesim/internal/stats"
+	"prunesim/internal/workload"
+)
+
+// Options tunes how figures are regenerated.
+type Options struct {
+	// Trials is the number of workload trials per configuration point
+	// (paper: 30).
+	Trials int
+	// Scale uniformly scales task counts and the workload time span, so
+	// oversubscription levels are preserved while runs shrink. 1 reproduces
+	// the paper's sizes; tests and benchmarks use smaller values.
+	Scale float64
+	// Seed is the base seed for workload generation and execution sampling.
+	Seed uint64
+	// Parallelism bounds concurrent trials; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultOptions returns the paper-scale settings.
+func DefaultOptions() Options {
+	return Options{Trials: 30, Scale: 1, Seed: 0x10bd, Parallelism: 0}
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Trials == 0 {
+		o.Trials = 30
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Trials < 1 {
+		return o, fmt.Errorf("experiments: Trials must be >= 1, got %d", o.Trials)
+	}
+	if o.Scale < 0.01 || o.Scale > 10 {
+		return o, fmt.Errorf("experiments: Scale %v out of [0.01, 10]", o.Scale)
+	}
+	if o.Parallelism < 1 {
+		return o, fmt.Errorf("experiments: Parallelism must be >= 1, got %d", o.Parallelism)
+	}
+	return o, nil
+}
+
+// Row is one reported data point of a figure: a (series, x) cell with its
+// robustness summary across trials and optional extra metrics.
+type Row struct {
+	Series string
+	X      string
+	// Robustness is the mean ± CI of the paper's metric (% on time).
+	Robustness stats.Summary
+	// Extra carries figure-specific metrics (e.g. wasted energy fraction).
+	Extra map[string]stats.Summary
+}
+
+// Point is an (x, y) sample for curve-style figures (Fig. 6).
+type Point struct {
+	X, Y float64
+}
+
+// FigureResult is the regenerated content of one paper figure.
+type FigureResult struct {
+	Name  string
+	Title string
+	Rows  []Row
+	// Points holds curve data for figures that are not robustness bars.
+	Points []Point
+	// Expectation documents the shape the paper reports for this figure,
+	// for EXPERIMENTS.md comparisons.
+	Expectation string
+}
+
+// Names lists the available figure drivers in presentation order.
+func Names() []string {
+	names := make([]string, 0, len(drivers))
+	for n := range drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run regenerates one figure by name ("6", "7a", ..., "a3").
+func Run(name string, opt Options) (*FigureResult, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d, ok := drivers[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", name, Names())
+	}
+	return d(&harness{opt: opt})
+}
+
+// harness carries shared state across one figure regeneration.
+type harness struct {
+	opt Options
+
+	onceHC, onceHom sync.Once
+	matrixHC        *pet.Matrix
+	matrixHom       *pet.Matrix
+}
+
+func (h *harness) hc() *pet.Matrix {
+	h.onceHC.Do(func() { h.matrixHC = pet.Standard(pet.DefaultParams()) })
+	return h.matrixHC
+}
+
+func (h *harness) hom() *pet.Matrix {
+	h.onceHom.Do(func() { h.matrixHom = pet.Homogeneous(pet.DefaultParams()) })
+	return h.matrixHom
+}
+
+// spec pins one configuration point.
+type spec struct {
+	homogeneous bool
+	mode        sim.Mode
+	heuristic   string
+	prune       core.Config
+	pattern     workload.Pattern
+	numTasks    int  // paper-scale level; Scale is applied internally
+	slots       int  // machine-queue pending slots; 0 means sim.DefaultSlots
+	valued      bool // draw task values from [1, 5] (value-aware extension)
+}
+
+// runTrials executes Trials independent trials of spec concurrently and
+// returns the per-trial results.
+func (h *harness) runTrials(s spec) ([]*sim.Result, error) {
+	matrix := h.hc()
+	machines := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if s.homogeneous {
+		matrix = h.hom()
+		machines = make([]int, 8) // eight identical machines of type 0
+	}
+	results := make([]*sim.Result, h.opt.Trials)
+	errs := make([]error, h.opt.Trials)
+	sem := make(chan struct{}, h.opt.Parallelism)
+	var wg sync.WaitGroup
+	for trial := 0; trial < h.opt.Trials; trial++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(trial int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[trial], errs[trial] = h.runOne(s, matrix, machines, trial)
+		}(trial)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (h *harness) runOne(s spec, matrix *pet.Matrix, machines []int, trial int) (*sim.Result, error) {
+	wcfg := workload.DefaultConfig(int(float64(s.numTasks) * h.opt.Scale))
+	wcfg.Pattern = s.pattern
+	wcfg.TimeSpan *= h.opt.Scale
+	wcfg.Seed = h.opt.Seed
+	wcfg.Trial = trial
+	if s.valued {
+		wcfg.ValueLo, wcfg.ValueHi = 1, 5
+	}
+	tasks := workload.Generate(matrix, wcfg)
+
+	hAny, imm, err := sched.ByName(s.heuristic)
+	if err != nil {
+		return nil, err
+	}
+	mode := s.mode
+	if imm && mode != sim.ImmediateMode {
+		return nil, fmt.Errorf("experiments: %s is immediate-mode", s.heuristic)
+	}
+	exclude := 100
+	if len(tasks) <= 2*exclude+1 {
+		exclude = len(tasks) / 4
+	}
+	prune := s.prune
+	prune.NumTaskTypes = matrix.NumTaskTypes()
+	slots := s.slots
+	if slots == 0 {
+		slots = sim.DefaultSlots
+	}
+	return sim.Run(matrix, tasks, sim.Config{
+		Mode:            mode,
+		Heuristic:       hAny,
+		MachineTypes:    machines,
+		Slots:           slots,
+		Prune:           prune,
+		Seed:            h.opt.Seed ^ 0xabcd,
+		ExcludeBoundary: exclude,
+	})
+}
+
+// robustness runs the spec and summarizes the robustness metric.
+func (h *harness) robustness(s spec) (stats.Summary, []*sim.Result, error) {
+	results, err := h.runTrials(s)
+	if err != nil {
+		return stats.Summary{}, nil, err
+	}
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = r.Robustness
+	}
+	return stats.Summarize(xs), results, nil
+}
+
+// kLabel renders a paper-style oversubscription label ("15k").
+func kLabel(n int) string { return fmt.Sprintf("%dk", n/1000) }

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpt keeps figure regressions fast: 2 trials at 6% scale.
+func quickOpt() Options {
+	return Options{Trials: 2, Scale: 0.06, Seed: 42, Parallelism: 4}
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	want := []string{"10a", "10b", "6", "7a", "7b", "8", "9a", "9b", "a1", "a2", "a3", "a4"}
+	if len(names) != len(want) {
+		t.Fatalf("figure names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("figure names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("99", quickOpt()); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("expected unknown-figure error, got %v", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	for _, opt := range []Options{
+		{Trials: -1, Scale: 1, Parallelism: 1},
+		{Trials: 1, Scale: 0.001, Parallelism: 1},
+		{Trials: 1, Scale: 100, Parallelism: 1},
+		{Trials: 1, Scale: 1, Parallelism: -2},
+	} {
+		if _, err := Run("6", opt); err == nil {
+			t.Errorf("options %+v accepted", opt)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	opt, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Trials != 30 || opt.Scale != 1 || opt.Parallelism < 1 {
+		t.Fatalf("defaults wrong: %+v", opt)
+	}
+}
+
+func TestFig6Points(t *testing.T) {
+	fr, err := Run("6", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Points) == 0 {
+		t.Fatal("fig 6 produced no points")
+	}
+	// The profile must show two distinct rate levels with ratio 3.
+	lo, hi := fr.Points[0].Y, fr.Points[0].Y
+	for _, p := range fr.Points {
+		if p.Y > 0 && p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	if hi/lo < 2.9 || hi/lo > 3.1 {
+		t.Fatalf("spike/base ratio %v, want ~3", hi/lo)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	fr, err := Run("7b", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 9 { // 3 toggle variants x 3 heuristics
+		t.Fatalf("rows = %d, want 9", len(fr.Rows))
+	}
+	byCell := indexRows(fr.Rows)
+	for _, heur := range []string{"MM", "MSD", "MMU"} {
+		noDrop := byCell[heur+"|no Toggle, no dropping"]
+		reactive := byCell[heur+"|reactive Toggle"]
+		// Shape: reactive toggle should not be clearly worse than no
+		// dropping (small-sample noise tolerance 5pp).
+		if reactive.Robustness.Mean < noDrop.Robustness.Mean-5 {
+			t.Errorf("%s: reactive %.1f%% clearly below no-drop %.1f%%",
+				heur, reactive.Robustness.Mean, noDrop.Robustness.Mean)
+		}
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	fr, err := Run("9b", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 18 { // 3 levels x 3 heuristics x {base, pruned}
+		t.Fatalf("rows = %d, want 18", len(fr.Rows))
+	}
+	byCell := indexRows(fr.Rows)
+	// Headline shape at the highest oversubscription: pruning wins for all
+	// heuristics.
+	for _, heur := range []string{"MM", "MSD", "MMU"} {
+		base := byCell[heur+"|25k"]
+		pruned := byCell[heur+"-P|25k"]
+		if pruned.Robustness.Mean <= base.Robustness.Mean {
+			t.Errorf("%s at 25k: pruned %.1f%% <= base %.1f%%",
+				heur, pruned.Robustness.Mean, base.Robustness.Mean)
+		}
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	fr, err := Run("10b", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(fr.Rows))
+	}
+	byCell := indexRows(fr.Rows)
+	for _, heur := range []string{"SJF", "EDF"} {
+		base := byCell[heur+"|25k"]
+		pruned := byCell[heur+"-P|25k"]
+		if pruned.Robustness.Mean <= base.Robustness.Mean {
+			t.Errorf("homogeneous %s at 25k: pruned %.1f%% <= base %.1f%%",
+				heur, pruned.Robustness.Mean, base.Robustness.Mean)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fr, err := Run("8", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 12 { // 4 thresholds x 3 heuristics
+		t.Fatalf("rows = %d, want 12", len(fr.Rows))
+	}
+	byCell := indexRows(fr.Rows)
+	// Deferring at 50% must beat no pruning for MSD (the paper's strongest
+	// case).
+	if byCell["MSD|50%"].Robustness.Mean <= byCell["MSD|0%"].Robustness.Mean {
+		t.Errorf("MSD: defer@50%% %.1f%% <= no pruning %.1f%%",
+			byCell["MSD|50%"].Robustness.Mean, byCell["MSD|0%"].Robustness.Mean)
+	}
+}
+
+func TestAblationDrivers(t *testing.T) {
+	for _, name := range []string{"a1", "a2", "a3", "a4"} {
+		fr, err := Run(name, quickOpt())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(fr.Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+		if name == "a3" {
+			for _, r := range fr.Rows {
+				if _, ok := r.Extra["wasted_energy_pct"]; !ok {
+					t.Fatalf("a3 row missing wasted_energy_pct extra")
+				}
+			}
+		}
+		if name == "a4" {
+			for _, r := range fr.Rows {
+				if _, ok := r.Extra["weighted_robustness_pct"]; !ok {
+					t.Fatalf("a4 row missing weighted_robustness_pct extra")
+				}
+			}
+		}
+	}
+}
+
+func TestFig7aRuns(t *testing.T) {
+	fr, err := Run("7a", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 12 { // 3 variants x 4 heuristics
+		t.Fatalf("rows = %d, want 12", len(fr.Rows))
+	}
+	for _, r := range fr.Rows {
+		if r.Robustness.Mean < 0 || r.Robustness.Mean > 100 {
+			t.Fatalf("row %s|%s robustness %v", r.Series, r.X, r.Robustness.Mean)
+		}
+	}
+}
+
+func indexRows(rows []Row) map[string]Row {
+	m := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		m[r.Series+"|"+r.X] = r
+	}
+	return m
+}

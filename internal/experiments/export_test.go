@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"prunesim/internal/stats"
+)
+
+func sampleFigure() *FigureResult {
+	return &FigureResult{
+		Name:  "9b",
+		Title: "sample",
+		Rows: []Row{
+			{Series: "MM", X: "15k", Robustness: stats.Summary{N: 2, Mean: 73.5, CI95: 0.2}},
+			{Series: "MM-P", X: "15k", Robustness: stats.Summary{N: 2, Mean: 74.6, CI95: 0.3}},
+			{Series: "MM", X: "25k", Robustness: stats.Summary{N: 2, Mean: 41.6, CI95: 0.1},
+				Extra: map[string]stats.Summary{"wasted_energy_pct": {Mean: 45.8, CI95: 0.2}}},
+		},
+		Expectation: "pruned dominates",
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := WriteCSVHeader(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(w, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 3 robustness rows + 1 extra-metric row.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "figure,series,x,mean,ci95,metric" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(sb.String(), "9b,MM,25k,41.600,0.100,robustness_pct") {
+		t.Fatalf("missing robustness row:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "wasted_energy_pct") {
+		t.Fatalf("missing extra-metric row:\n%s", sb.String())
+	}
+}
+
+func TestWriteCSVPoints(t *testing.T) {
+	fr := &FigureResult{Name: "6", Points: []Point{{X: 0, Y: 3.3}, {X: 300, Y: 10}}}
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := WriteCSV(w, fr); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "arrival_rate"); got != 2 {
+		t.Fatalf("point rows = %d, want 2", got)
+	}
+}
+
+func TestWriteMarkdownTable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"### Figure 9b",
+		"| series | 15k | 25k |",
+		"| MM | 73.5 ± 0.2 | 41.6 ± 0.1 |",
+		"| MM-P | 74.6 ± 0.3 | — |", // missing cell rendered as dash
+		"Paper shape: pruned dominates",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteMarkdownPoints(t *testing.T) {
+	fr := &FigureResult{Name: "6", Title: "rates", Points: []Point{{X: 1, Y: 2}}}
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, fr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "curve points") {
+		t.Fatalf("points figure rendering wrong:\n%s", sb.String())
+	}
+}
+
+func TestExportRoundTripFromDriver(t *testing.T) {
+	fr, err := Run("a3", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvOut, mdOut strings.Builder
+	w := csv.NewWriter(&csvOut)
+	if err := WriteCSVHeader(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(w, fr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarkdown(&mdOut, fr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(csvOut.String(), "\n") < len(fr.Rows) {
+		t.Fatal("CSV lost rows")
+	}
+	if !strings.Contains(mdOut.String(), "MM-P") {
+		t.Fatal("markdown lost series")
+	}
+}

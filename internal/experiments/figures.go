@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prunesim/internal/core"
+	"prunesim/internal/energy"
+	"prunesim/internal/sim"
+	"prunesim/internal/stats"
+	"prunesim/internal/workload"
+)
+
+// drivers maps figure names to their regeneration functions.
+var drivers = map[string]func(*harness) (*FigureResult, error){
+	"6":   fig6,
+	"7a":  fig7a,
+	"7b":  fig7b,
+	"8":   fig8,
+	"9a":  func(h *harness) (*FigureResult, error) { return fig9(h, workload.Constant) },
+	"9b":  func(h *harness) (*FigureResult, error) { return fig9(h, workload.Spiky) },
+	"10a": func(h *harness) (*FigureResult, error) { return fig10(h, workload.Constant) },
+	"10b": func(h *harness) (*FigureResult, error) { return fig10(h, workload.Spiky) },
+	"a1":  ablationFairness,
+	"a2":  ablationSlots,
+	"a3":  extensionEnergy,
+	"a4":  extensionValueAware,
+}
+
+// toggleVariants are the three dropping policies of Figure 7.
+var toggleVariants = []struct {
+	label string
+	mode  core.ToggleMode
+}{
+	{"no Toggle, no dropping", core.ToggleNever},
+	{"no Toggle, always dropping", core.ToggleAlways},
+	{"reactive Toggle", core.ToggleReactive},
+}
+
+// fig6 dumps the spiky arrival-rate profile (aggregate tasks per time unit
+// over the span).
+func fig6(h *harness) (*FigureResult, error) {
+	cfg := workload.DefaultConfig(int(15000 * h.opt.Scale))
+	cfg.TimeSpan *= h.opt.Scale
+	matrix := h.hc()
+	const samples = 600
+	fr := &FigureResult{
+		Name:        "6",
+		Title:       "Spiky task arrival pattern (aggregate rate over time)",
+		Expectation: "rate alternates between a base (lull) level and spikes at 3x base lasting 1/3 of a lull",
+	}
+	for i := 0; i <= samples; i++ {
+		t := cfg.TimeSpan * float64(i) / samples
+		fr.Points = append(fr.Points, Point{X: t, Y: workload.Rate(cfg, matrix, t)})
+	}
+	return fr, nil
+}
+
+// prune7 builds the pruning config for a Figure-7 toggle variant. Deferring
+// applies only in batch mode (immediate mode has no arrival queue).
+func prune7(mode core.ToggleMode, defer_ bool) core.Config {
+	cfg := core.DefaultConfig(12)
+	cfg.DropMode = mode
+	cfg.DeferEnabled = defer_
+	if mode == core.ToggleNever && !defer_ {
+		// Nothing probabilistic left: identical to a disabled pruner.
+		return core.Disabled(12)
+	}
+	return cfg
+}
+
+func fig7a(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "7a",
+		Title:       "Impact of Toggle on immediate-mode heuristics (spiky, 15K)",
+		Expectation: "reactive Toggle >= always dropping >= no dropping for MCT/MET/KPB; RR is the exception and KPB is best",
+	}
+	for _, tv := range toggleVariants {
+		for _, heur := range []string{"RR", "MCT", "MET", "KPB"} {
+			sum, _, err := h.robustness(spec{
+				mode:      sim.ImmediateMode,
+				heuristic: heur,
+				prune:     prune7(tv.mode, false),
+				pattern:   workload.Spiky,
+				numTasks:  15000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fr.Rows = append(fr.Rows, Row{Series: heur, X: tv.label, Robustness: sum})
+		}
+	}
+	return fr, nil
+}
+
+func fig7b(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "7b",
+		Title:       "Impact of Toggle on batch-mode heuristics (spiky, 15K)",
+		Expectation: "reactive Toggle best for MM/MSD/MMU; batch robustness exceeds immediate",
+	}
+	for _, tv := range toggleVariants {
+		for _, heur := range []string{"MM", "MSD", "MMU"} {
+			sum, _, err := h.robustness(spec{
+				mode:      sim.BatchMode,
+				heuristic: heur,
+				prune:     prune7(tv.mode, true),
+				pattern:   workload.Spiky,
+				numTasks:  15000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fr.Rows = append(fr.Rows, Row{Series: heur, X: tv.label, Robustness: sum})
+		}
+	}
+	return fr, nil
+}
+
+// fig8 sweeps the pruning threshold for the deferring-only configuration at
+// high oversubscription (25K).
+func fig8(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "8",
+		Title:       "Impact of task deferring threshold on batch-mode heuristics (spiky, 25K)",
+		Expectation: "robustness jumps from threshold 0 to 25-50% and plateaus at 50%; heuristics converge",
+	}
+	for _, th := range []float64{0, 0.25, 0.50, 0.75} {
+		prune := core.DefaultConfig(12)
+		prune.DropMode = core.ToggleNever // deferring only
+		prune.Threshold = th
+		if th == 0 {
+			prune = core.Disabled(12) // paper: threshold 0 = no pruning
+		}
+		for _, heur := range []string{"MM", "MSD", "MMU"} {
+			sum, _, err := h.robustness(spec{
+				mode:      sim.BatchMode,
+				heuristic: heur,
+				prune:     prune,
+				pattern:   workload.Spiky,
+				numTasks:  25000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fr.Rows = append(fr.Rows, Row{Series: heur, X: fmt.Sprintf("%.0f%%", th*100), Robustness: sum})
+		}
+	}
+	return fr, nil
+}
+
+// fig9 compares batch heuristics with and without the full pruning
+// mechanism across oversubscription levels.
+func fig9(h *harness, pattern workload.Pattern) (*FigureResult, error) {
+	name := "9a"
+	if pattern == workload.Spiky {
+		name = "9b"
+	}
+	fr := &FigureResult{
+		Name:        name,
+		Title:       fmt.Sprintf("Pruning on batch-mode HC heuristics (%s arrival)", pattern),
+		Expectation: "pruned (-P) variants dominate; the gap widens with oversubscription; MSD/MMU gain most",
+	}
+	for _, n := range []int{15000, 20000, 25000} {
+		for _, heur := range []string{"MM", "MSD", "MMU"} {
+			for _, pruned := range []bool{false, true} {
+				prune := core.Disabled(12)
+				series := heur
+				if pruned {
+					prune = core.DefaultConfig(12)
+					series += "-P"
+				}
+				sum, _, err := h.robustness(spec{
+					mode:      sim.BatchMode,
+					heuristic: heur,
+					prune:     prune,
+					pattern:   pattern,
+					numTasks:  n,
+				})
+				if err != nil {
+					return nil, err
+				}
+				fr.Rows = append(fr.Rows, Row{Series: series, X: kLabel(n), Robustness: sum})
+			}
+		}
+	}
+	return fr, nil
+}
+
+// fig10 is the homogeneous-system analogue of fig9.
+func fig10(h *harness, pattern workload.Pattern) (*FigureResult, error) {
+	name := "10a"
+	if pattern == workload.Spiky {
+		name = "10b"
+	}
+	fr := &FigureResult{
+		Name:        name,
+		Title:       fmt.Sprintf("Pruning on homogeneous-system heuristics (%s arrival)", pattern),
+		Expectation: "pruning helps homogeneous systems as much as heterogeneous ones; EDF/SJF collapse unpruned at 25K",
+	}
+	for _, n := range []int{15000, 20000, 25000} {
+		for _, heur := range []string{"FCFS-RR", "SJF", "EDF"} {
+			for _, pruned := range []bool{false, true} {
+				prune := core.Disabled(12)
+				series := heur
+				if pruned {
+					prune = core.DefaultConfig(12)
+					series += "-P"
+				}
+				sum, _, err := h.robustness(spec{
+					homogeneous: true,
+					mode:        sim.BatchMode,
+					heuristic:   heur,
+					prune:       prune,
+					pattern:     pattern,
+					numTasks:    n,
+				})
+				if err != nil {
+					return nil, err
+				}
+				fr.Rows = append(fr.Rows, Row{Series: series, X: kLabel(n), Robustness: sum})
+			}
+		}
+	}
+	return fr, nil
+}
+
+// ablationFairness sweeps the fairness factor c (DESIGN.md A1).
+func ablationFairness(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "a1",
+		Title:       "Ablation: fairness factor c (spiky, 20K, MM/MSD)",
+		Expectation: "robustness is largely flat in c; per-type drop spread shrinks as c grows",
+	}
+	for _, c := range []float64{0, 0.01, 0.05, 0.20} {
+		for _, heur := range []string{"MM", "MSD"} {
+			prune := core.DefaultConfig(12)
+			prune.FairnessFactor = c
+			sum, results, err := h.robustness(spec{
+				mode:      sim.BatchMode,
+				heuristic: heur,
+				prune:     prune,
+				pattern:   workload.Spiky,
+				numTasks:  20000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Per-type drop spread: max-min share of drops across types.
+			spreads := make([]float64, len(results))
+			for i, r := range results {
+				spreads[i] = dropSpread(r)
+			}
+			fr.Rows = append(fr.Rows, Row{
+				Series:     heur,
+				X:          fmt.Sprintf("c=%.2f", c),
+				Robustness: sum,
+				Extra:      map[string]stats.Summary{"drop_spread_pct": stats.Summarize(spreads)},
+			})
+		}
+	}
+	return fr, nil
+}
+
+// dropSpread measures unfairness as the spread (max - min) of per-type drop
+// percentages.
+func dropSpread(r *sim.Result) float64 {
+	minPct, maxPct := 101.0, -1.0
+	for tt := range r.PerTypeDropped {
+		total := r.PerTypeDropped[tt] + r.PerTypeOnTime[tt]
+		if total == 0 {
+			continue
+		}
+		pct := 100 * float64(r.PerTypeDropped[tt]) / float64(total)
+		if pct < minPct {
+			minPct = pct
+		}
+		if pct > maxPct {
+			maxPct = pct
+		}
+	}
+	if maxPct < minPct {
+		return 0
+	}
+	return maxPct - minPct
+}
+
+// ablationSlots sweeps the per-machine pending-slot capacity (DESIGN.md A2).
+func ablationSlots(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "a2",
+		Title:       "Ablation: machine-queue pending slots (spiky, 20K, MM with pruning)",
+		Expectation: "small queues keep decisions late and accurate; robustness degrades as slots grow",
+	}
+	for _, slots := range []int{1, 2, 4, 8} {
+		sum, _, err := h.robustness(spec{
+			mode:      sim.BatchMode,
+			heuristic: "MM",
+			prune:     core.DefaultConfig(12),
+			pattern:   workload.Spiky,
+			numTasks:  20000,
+			slots:     slots,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fr.Rows = append(fr.Rows, Row{Series: "MM-P", X: fmt.Sprintf("slots=%d", slots), Robustness: sum})
+	}
+	return fr, nil
+}
+
+// extensionEnergy reproduces the Section VII claim: pruning reduces the
+// compute wasted on failing tasks (DESIGN.md A3).
+func extensionEnergy(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "a3",
+		Title:       "Extension: wasted work and energy with vs without pruning (spiky, MM)",
+		Expectation: "pruning lowers wasted busy time, wasted energy and joules per on-time task at every level",
+	}
+	params := energy.DefaultParams()
+	for _, n := range []int{15000, 20000, 25000} {
+		for _, pruned := range []bool{false, true} {
+			prune := core.Disabled(12)
+			series := "MM"
+			if pruned {
+				prune = core.DefaultConfig(12)
+				series = "MM-P"
+			}
+			sum, results, err := h.robustness(spec{
+				mode:      sim.BatchMode,
+				heuristic: "MM",
+				prune:     prune,
+				pattern:   workload.Spiky,
+				numTasks:  n,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wastedPct := make([]float64, len(results))
+			jptask := make([]float64, len(results))
+			for i, r := range results {
+				rep, err := energy.Analyze(r, 8, params)
+				if err != nil {
+					return nil, err
+				}
+				wastedPct[i] = 100 * rep.WastedFraction
+				jptask[i] = rep.JoulesPerOnTimeTask
+			}
+			fr.Rows = append(fr.Rows, Row{
+				Series:     series,
+				X:          kLabel(n),
+				Robustness: sum,
+				Extra: map[string]stats.Summary{
+					"wasted_energy_pct":  stats.Summarize(wastedPct),
+					"joules_per_on_time": stats.Summarize(jptask),
+				},
+			})
+		}
+	}
+	return fr, nil
+}
+
+// extensionValueAware evaluates the cost/priority-aware pruning extension
+// (paper Section VII future work, DESIGN.md A4): tasks carry values drawn
+// from [1, 5]; value-aware pruning scales each task's pruning threshold by
+// 1/value and is scored on value-weighted robustness.
+func extensionValueAware(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "a4",
+		Title:       "Extension: value-aware pruning (spiky, MM, task values in [1,5])",
+		Expectation: "value-aware pruning lifts value-weighted robustness over value-blind pruning; plain robustness stays comparable",
+	}
+	for _, n := range []int{20000, 25000} {
+		for _, variant := range []string{"MM", "MM-P", "MM-PV"} {
+			prune := core.Disabled(12)
+			switch variant {
+			case "MM-P":
+				prune = core.DefaultConfig(12)
+			case "MM-PV":
+				prune = core.DefaultConfig(12)
+				prune.ValueAware = true
+				prune.ValueRef = 3 // mean of the [1, 5] value draw
+			}
+			results, err := h.runTrials(spec{
+				mode:      sim.BatchMode,
+				heuristic: "MM",
+				prune:     prune,
+				pattern:   workload.Spiky,
+				numTasks:  n,
+				valued:    true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rob := make([]float64, len(results))
+			weighted := make([]float64, len(results))
+			for i, r := range results {
+				rob[i] = r.Robustness
+				weighted[i] = r.WeightedRobustness
+			}
+			fr.Rows = append(fr.Rows, Row{
+				Series:     variant,
+				X:          kLabel(n),
+				Robustness: stats.Summarize(rob),
+				Extra:      map[string]stats.Summary{"weighted_robustness_pct": stats.Summarize(weighted)},
+			})
+		}
+	}
+	return fr, nil
+}

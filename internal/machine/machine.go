@@ -1,0 +1,277 @@
+// Package machine models the worker nodes of the heterogeneous computing
+// system: a non-preemptive processor with a FCFS queue of mapped tasks. Each
+// queued task carries its Probabilistic Completion Time (PCT) — the
+// convolution of its PET with the PCT of the task ahead of it (Eq. 1) — so
+// the pruning mechanism can evaluate every task's chance of meeting its
+// deadline (Eq. 2) at any mapping event.
+//
+// The package owns the bookkeeping the paper's Section II requires: when a
+// task is dropped from the middle of a queue, the PCTs of the tasks behind
+// it are recomputed from the machine's current state, shrinking their
+// compound uncertainty and raising their chance of success.
+package machine
+
+import (
+	"fmt"
+
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// PETLookup resolves the execution-time PMF of a task type on this machine.
+// A Machine is bound to one machine type, so the lookup takes only the task
+// type.
+type PETLookup func(taskType int) *pmf.PMF
+
+// Entry is a mapped task waiting in a machine queue together with its
+// current PCT.
+type Entry struct {
+	Task *task.Task
+	PCT  *pmf.PMF
+}
+
+// Machine is one worker. It is not safe for concurrent use; the simulator
+// drives it from a single goroutine per trial (trials parallelize across
+// machines-of-the-simulation, not within one).
+type Machine struct {
+	id       int
+	typeIdx  int
+	pet      PETLookup
+	binWidth float64
+
+	running           *task.Task
+	runningCompletion *pmf.PMF // absolute-time completion PMF of the running task
+	pending           []Entry
+	pctStale          bool // pending PCTs need recomputation (drop happened)
+}
+
+// New constructs an idle machine of the given machine type.
+func New(id, typeIdx int, lookup PETLookup, binWidth float64) *Machine {
+	if lookup == nil {
+		panic("machine: nil PET lookup")
+	}
+	if binWidth <= 0 {
+		panic("machine: bin width must be positive")
+	}
+	return &Machine{id: id, typeIdx: typeIdx, pet: lookup, binWidth: binWidth}
+}
+
+// ID returns the machine's identifier.
+func (m *Machine) ID() int { return m.id }
+
+// TypeIndex returns the machine-type index into the PET matrix.
+func (m *Machine) TypeIndex() int { return m.typeIdx }
+
+// Idle reports whether no task is executing.
+func (m *Machine) Idle() bool { return m.running == nil }
+
+// Running returns the executing task, or nil.
+func (m *Machine) Running() *task.Task { return m.running }
+
+// PendingCount returns the number of mapped-but-not-started tasks.
+func (m *Machine) PendingCount() int { return len(m.pending) }
+
+// QueueLen returns pending count plus one if a task is running — the total
+// load the paper's MCT-style heuristics reason about.
+func (m *Machine) QueueLen() int {
+	n := len(m.pending)
+	if m.running != nil {
+		n++
+	}
+	return n
+}
+
+// Pending returns the queue entries in FCFS order. The slice is shared;
+// callers must not mutate it.
+func (m *Machine) Pending() []Entry {
+	m.refreshIfStale()
+	return m.pending
+}
+
+// baselinePCT is the distribution of the time at which the machine becomes
+// free, conditioned on what is known at time now.
+func (m *Machine) baselinePCT(now float64) *pmf.PMF {
+	if m.running == nil {
+		return pmf.Delta(now, m.binWidth)
+	}
+	return m.runningCompletion.ConditionMin(now)
+}
+
+// LastPCT returns the completion-time PMF of the last task in the queue (or
+// the machine-free distribution if the queue is empty), evaluated at time
+// now. This is the left operand of Eq. 1 for an arriving task.
+func (m *Machine) LastPCT(now float64) *pmf.PMF {
+	m.refreshIfStale()
+	if n := len(m.pending); n > 0 {
+		return m.pending[n-1].PCT
+	}
+	return m.baselinePCT(now)
+}
+
+// ExpectedReady returns the expected time at which all currently queued work
+// finishes — the scalar the deterministic heuristics (MCT, MM, ...) build
+// their expected completion times on.
+func (m *Machine) ExpectedReady(now float64) float64 {
+	return m.LastPCT(now).Mean()
+}
+
+// ChanceIfEnqueued returns the chance of success (Eq. 2) a task of the given
+// type and deadline would have if appended to this queue now.
+func (m *Machine) ChanceIfEnqueued(taskType int, deadline, now float64) float64 {
+	p := m.pet(taskType)
+	if p == nil {
+		panic(fmt.Sprintf("machine %d: no PET for task type %d", m.id, taskType))
+	}
+	return m.LastPCT(now).Convolve(p).ProbLE(deadline)
+}
+
+// Enqueue maps a task onto this machine, computing its PCT per Eq. 1. The
+// task's status and machine assignment are updated.
+func (m *Machine) Enqueue(t *task.Task, now float64) {
+	p := m.pet(t.Type)
+	if p == nil {
+		panic(fmt.Sprintf("machine %d: no PET for task type %d", m.id, t.Type))
+	}
+	pct := m.LastPCT(now).Convolve(p)
+	t.Status = task.StatusMachineQueued
+	t.Machine = m.id
+	m.pending = append(m.pending, Entry{Task: t, PCT: pct})
+}
+
+// StartNext begins executing the head of the queue if the machine is idle.
+// It returns the started task, or nil if the machine is busy or the queue is
+// empty. The caller (the simulator) samples the actual duration and
+// schedules the completion event; the machine only tracks the scheduler's
+// probabilistic belief about the completion time.
+func (m *Machine) StartNext(now float64) *task.Task {
+	if m.running != nil || len(m.pending) == 0 {
+		return nil
+	}
+	m.refreshIfStale()
+	head := m.pending[0]
+	copy(m.pending, m.pending[1:])
+	m.pending = m.pending[:len(m.pending)-1]
+	m.running = head.Task
+	m.running.Status = task.StatusRunning
+	m.running.Start = now
+	// The scheduler's belief about the completion time: start + PET.
+	m.runningCompletion = pmf.Delta(now, m.binWidth).Convolve(m.pet(head.Task.Type))
+	// Remaining pending PCTs are now anchored on the new running task.
+	m.pctStale = true
+	return m.running
+}
+
+// Complete finishes the running task at time now and returns it. The task's
+// terminal status is set from its deadline. It panics if no task is running.
+func (m *Machine) Complete(now float64) *task.Task {
+	if m.running == nil {
+		panic(fmt.Sprintf("machine %d: Complete with no running task", m.id))
+	}
+	t := m.running
+	t.Completion = now
+	if now <= t.Deadline {
+		t.Status = task.StatusCompletedOnTime
+	} else {
+		t.Status = task.StatusCompletedLate
+	}
+	m.running = nil
+	m.runningCompletion = nil
+	m.pctStale = true
+	return t
+}
+
+// DropPending removes every pending task for which shouldDrop returns true,
+// in FCFS order, and recomputes the PCTs of the survivors behind a drop from
+// the machine's current state (the paper's queue-shortening effect: dropped
+// tasks no longer contribute to the compound uncertainty of those behind
+// them). Dropped tasks are returned; their status is NOT modified — the
+// caller decides between reactive and proactive drop accounting.
+//
+// shouldDrop sees each entry's PCT reflecting any drops already made ahead
+// of it. Entries ahead of the first drop keep their memoized PCTs (the
+// paper's Section V-A notes memoization of partial convolution results keeps
+// the pruner's overhead negligible; a sweep that drops nothing performs no
+// convolutions at all).
+func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*task.Task {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	m.refreshIfStale()
+	var dropped []*task.Task
+	var prev *pmf.PMF // anchor for recomputation; set at the first drop
+	dirty := false
+	kept := m.pending[:0]
+	for _, e := range m.pending {
+		if dirty {
+			e.PCT = prev.Convolve(m.pet(e.Task.Type))
+		}
+		if shouldDrop(e) {
+			if !dirty {
+				dirty = true
+				if len(kept) > 0 {
+					prev = kept[len(kept)-1].PCT
+				} else {
+					prev = m.baselinePCT(now)
+				}
+			}
+			e.Task.Machine = m.id // preserved for accounting
+			dropped = append(dropped, e.Task)
+			continue
+		}
+		kept = append(kept, e)
+		if dirty {
+			prev = e.PCT
+		}
+	}
+	// Zero the vacated slots so dropped tasks are not retained.
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = Entry{}
+	}
+	m.pending = kept
+	return dropped
+}
+
+// RefreshPCTs recomputes all pending PCTs anchored at time now. Mapping
+// events call this before chance-of-success queries so estimates reflect the
+// machine's actual progress.
+func (m *Machine) RefreshPCTs(now float64) {
+	prev := m.baselinePCT(now)
+	for i := range m.pending {
+		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
+		m.pending[i].PCT = pct
+		prev = pct
+	}
+	m.pctStale = false
+}
+
+// refreshIfStale rebuilds PCT chains invalidated by drops or start events.
+// Anchoring uses the running task's conditioned completion distribution, so
+// callers that need "as of now" precision should call RefreshPCTs(now)
+// explicitly; this fallback anchors at the unconditioned distribution, which
+// is correct immediately after the invalidating event.
+func (m *Machine) refreshIfStale() {
+	if !m.pctStale {
+		return
+	}
+	var prev *pmf.PMF
+	if m.running != nil {
+		prev = m.runningCompletion
+	} else if len(m.pending) > 0 {
+		prev = pmf.Delta(m.pending[0].Task.Arrival, m.binWidth)
+	} else {
+		m.pctStale = false
+		return
+	}
+	for i := range m.pending {
+		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
+		m.pending[i].PCT = pct
+		prev = pct
+	}
+	m.pctStale = false
+}
+
+// String summarizes the machine state.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{id=%d type=%d running=%v pending=%d}",
+		m.id, m.typeIdx, m.running != nil, len(m.pending))
+}

@@ -1,0 +1,115 @@
+// Package randx provides deterministic pseudo-random number generation and
+// the continuous-distribution samplers the simulator needs (Gamma,
+// exponential, uniform ranges). The Go standard library's math/rand lacks a
+// Gamma sampler, and the paper's workload generation is built entirely on
+// Gamma distributions, so we implement Marsaglia–Tsang here.
+//
+// All randomness in the repository flows through *randx.RNG so that every
+// simulation is exactly reproducible from a single seed. Sub-streams can be
+// split off deterministically with Split, which keeps independent components
+// (workload generation, execution-time sampling, ...) decoupled: adding draws
+// to one stream never perturbs another.
+package randx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic pseudo-random generator. It wraps math/rand's
+// PCG-based source and adds the samplers used across the simulator.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns an RNG seeded with seed. Two RNGs built from the same seed
+// produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent sub-stream identified by id. The derivation is
+// a pure function of the parent's seed material, so the order in which
+// sub-streams are created or consumed does not matter.
+func Split(seed uint64, id uint64) *RNG {
+	// SplitMix64-style mixing of (seed, id) into a fresh seed.
+	z := seed + id*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(z)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// IntN returns a uniform int in [0, n).
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Exponential returns a variate from an exponential distribution with the
+// given mean (mean = 1/rate). It panics if mean <= 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("randx: Exponential requires mean > 0")
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// Gamma returns a variate from a Gamma distribution with the given shape k
+// and scale theta (mean = k*theta, variance = k*theta^2).
+//
+// For k >= 1 it uses the Marsaglia–Tsang squeeze method; for 0 < k < 1 it
+// uses the standard boosting identity Gamma(k) = Gamma(k+1) * U^(1/k).
+// It panics if shape or scale is not positive.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Gamma requires shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		// Boost: draw from Gamma(shape+1) and scale by U^(1/shape).
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.src.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// GammaMeanShape returns a Gamma variate parameterized by its mean and shape
+// (scale = mean/shape). This is the parameterization the paper's workload
+// generator uses: a mean execution time plus a shape drawn from [1, 20].
+func (r *RNG) GammaMeanShape(mean, shape float64) float64 {
+	return r.Gamma(shape, mean/shape)
+}

@@ -1,0 +1,212 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d: %v != %v", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds coincide on %d/64 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Sub-stream id=2 must be the same whether or not id=1 was consumed.
+	ref := Split(7, 2)
+	refVals := make([]float64, 10)
+	for i := range refVals {
+		refVals[i] = ref.Float64()
+	}
+	other := Split(7, 1)
+	_ = other.Float64() // consume from a sibling stream
+	again := Split(7, 2)
+	for i := range refVals {
+		if v := again.Float64(); v != refVals[i] {
+			t.Fatalf("split stream perturbed by sibling at draw %d", i)
+		}
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	a := Split(7, 1)
+	b := Split(7, 2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide on %d/64 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(0.8, 2.5)
+		if v < 0.8 || v >= 2.5 {
+			t.Fatalf("Uniform(0.8,2.5) produced %v", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Uniform(2, 6)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-4) > 0.02 {
+		t.Fatalf("Uniform(2,6) mean %v, want ~4", mean)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(11)
+	const mean = 2.5
+	var sum, sumSq float64
+	n := 400000
+	for i := 0; i < n; i++ {
+		v := r.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / float64(n)
+	varr := sumSq/float64(n) - m*m
+	if math.Abs(m-mean) > 0.03 {
+		t.Errorf("exponential mean %v, want %v", m, mean)
+	}
+	if math.Abs(varr-mean*mean) > 0.2 {
+		t.Errorf("exponential variance %v, want %v", varr, mean*mean)
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mean <= 0")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{1, 2},    // exponential special case
+		{2.5, 1},  // moderate shape
+		{20, 0.3}, // paper's max shape
+		{0.5, 2},  // boost path (shape < 1)
+	}
+	r := New(17)
+	for _, c := range cases {
+		var sum, sumSq float64
+		n := 400000
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.shape, c.scale)
+			if v < 0 {
+				t.Fatalf("negative gamma variate %v for %+v", v, c)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / float64(n)
+		varr := sumSq/float64(n) - m*m
+		wantM := c.shape * c.scale
+		wantV := c.shape * c.scale * c.scale
+		if math.Abs(m-wantM) > 0.03*wantM+0.01 {
+			t.Errorf("Gamma(%v,%v) mean %v, want %v", c.shape, c.scale, m, wantM)
+		}
+		if math.Abs(varr-wantV) > 0.08*wantV+0.02 {
+			t.Errorf("Gamma(%v,%v) variance %v, want %v", c.shape, c.scale, varr, wantV)
+		}
+	}
+}
+
+func TestGammaMeanShape(t *testing.T) {
+	r := New(23)
+	const mean, shape = 4.0, 7.0
+	var sum float64
+	n := 300000
+	for i := 0; i < n; i++ {
+		sum += r.GammaMeanShape(mean, shape)
+	}
+	m := sum / float64(n)
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("GammaMeanShape mean %v, want %v", m, mean)
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ shape, scale float64 }{{0, 1}, {-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for shape=%v scale=%v", c.shape, c.scale)
+				}
+			}()
+			New(1).Gamma(c.shape, c.scale)
+		}()
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("IntN(8) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("IntN(8) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(10)
+	p := r.Perm(12)
+	if len(p) != 12 {
+		t.Fatalf("Perm length %d", len(p))
+	}
+	seen := make([]bool, 12)
+	for _, v := range p {
+		if v < 0 || v >= 12 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(7, 0.5)
+	}
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"testing"
+
+	"prunesim/internal/task"
+)
+
+func TestOLBPicksEarliestReady(t *testing.T) {
+	ctx := testFixture([][]float64{{5, 1}}, 0)
+	// Load machine 1 (the "fast" one): OLB ignores execution time and picks
+	// the idle machine 0.
+	ctx.Machines[1].Enqueue(task.New(9, 0, 0, 100), 0)
+	if got := NewOLB().Pick(ctx, task.New(0, 0, 0, 100)); got != 0 {
+		t.Fatalf("OLB picked %d, want idle machine 0", got)
+	}
+}
+
+func TestOLBIgnoresAffinity(t *testing.T) {
+	// Machine 1 is 10x faster for this type, but both are idle: OLB picks
+	// the first machine with minimal ready time (machine 0).
+	ctx := testFixture([][]float64{{10, 1}}, 0)
+	if got := NewOLB().Pick(ctx, task.New(0, 0, 0, 100)); got != 0 {
+		t.Fatalf("OLB picked %d, want 0 (ready-time tie, first wins)", got)
+	}
+}
+
+func TestMaxMinServesLongTaskFirst(t *testing.T) {
+	// Task 0 is long (exec 8), task 1 short (exec 1); both prefer machine 0.
+	ctx := testFixture([][]float64{{8, 20}, {1, 20}}, 1)
+	long := task.New(0, 0, 0, 100)
+	short := task.New(1, 1, 0, 100)
+	out := NewMaxMin().Map(ctx, []*task.Task{short, long})
+	if len(out) != 2 {
+		t.Fatalf("assignments %d, want 2", len(out))
+	}
+	if out[0].Task != long || out[0].Machine != 0 {
+		t.Fatalf("Max-Min first pick = task %d on %d, want long task on 0", out[0].Task.ID, out[0].Machine)
+	}
+	// The short task is left with machine 1.
+	if out[1].Task != short || out[1].Machine != 1 {
+		t.Fatalf("Max-Min second pick wrong: %+v", out[1])
+	}
+}
+
+func TestMaxMinRespectsSlots(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 1}}, 2)
+	var tasks []*task.Task
+	for i := 0; i < 9; i++ {
+		tasks = append(tasks, task.New(i, 0, 0, 100))
+	}
+	out := NewMaxMin().Map(ctx, tasks)
+	if len(out) != 4 {
+		t.Fatalf("assignments %d, want 4", len(out))
+	}
+}
+
+func TestSufferagePrefersHighSufferage(t *testing.T) {
+	// Both tasks prefer machine 0. Task 0's second-best is barely worse
+	// (sufferage 1); task 1's alternative is terrible (sufferage 50).
+	// Sufferage must give machine 0 to task 1.
+	ctx := testFixture([][]float64{{2, 3}, {2, 52}}, 1)
+	lowSuff := task.New(0, 0, 0, 100)
+	highSuff := task.New(1, 1, 0, 100)
+	out := NewSufferage().Map(ctx, []*task.Task{lowSuff, highSuff})
+	if len(out) == 0 || out[0].Task != highSuff || out[0].Machine != 0 {
+		t.Fatalf("Sufferage first pick = %+v, want high-sufferage task on machine 0", out[0])
+	}
+}
+
+func TestSufferageSingleMachine(t *testing.T) {
+	// With one machine, sufferage is 0 for everyone; the heuristic must
+	// still assign (ties resolved by completion).
+	ctx := testFixture([][]float64{{2}, {1}}, 2)
+	a := task.New(0, 0, 0, 100)
+	b := task.New(1, 1, 0, 100)
+	out := NewSufferage().Map(ctx, []*task.Task{a, b})
+	if len(out) != 2 {
+		t.Fatalf("assignments %d, want 2", len(out))
+	}
+}
+
+func TestExtraHeuristicsInRegistry(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		imm  bool
+	}{
+		{"OLB", true}, {"MaxMin", false}, {"Sufferage", false},
+	} {
+		h, imm, err := ByName(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if imm != c.imm {
+			t.Errorf("%s: imm = %v, want %v", c.name, imm, c.imm)
+		}
+		switch v := h.(type) {
+		case Immediate:
+			if v.Name() != c.name {
+				t.Errorf("%s: Name() = %q", c.name, v.Name())
+			}
+		case Batch:
+			if v.Name() != c.name {
+				t.Errorf("%s: Name() = %q", c.name, v.Name())
+			}
+		}
+	}
+}
+
+func TestExtraBatchStopAtZeroSlots(t *testing.T) {
+	for _, h := range []Batch{NewMaxMin(), NewSufferage()} {
+		ctx := testFixture([][]float64{{1, 1}}, 1)
+		ctx.Machines[0].Enqueue(task.New(90, 0, 0, 100), 0)
+		ctx.Machines[1].Enqueue(task.New(91, 0, 0, 100), 0)
+		if out := h.Map(ctx, []*task.Task{task.New(0, 0, 0, 100)}); len(out) != 0 {
+			t.Errorf("%s assigned with no free slots", h.Name())
+		}
+	}
+}

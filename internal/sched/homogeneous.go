@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"sort"
+
+	"prunesim/internal/task"
+)
+
+// FCFSRR is First-Come-First-Served Round-Robin for homogeneous systems:
+// tasks are taken in arrival order and placed on machines in cyclic order,
+// skipping machines with no free queue slot. The cursor persists across
+// mapping events.
+type FCFSRR struct {
+	next int
+}
+
+// NewFCFSRR returns a fresh FCFS-RR heuristic.
+func NewFCFSRR() *FCFSRR { return &FCFSRR{} }
+
+// Name implements Batch.
+func (*FCFSRR) Name() string { return "FCFS-RR" }
+
+// Map implements Batch.
+func (f *FCFSRR) Map(ctx *Context, unmapped []*task.Task) []Assignment {
+	v := newVirtualState(ctx)
+	queue := append([]*task.Task(nil), unmapped...)
+	sortTasksByArrival(queue)
+	n := len(ctx.Machines)
+	var out []Assignment
+	for _, t := range queue {
+		if v.total <= 0 {
+			break
+		}
+		// Find the next machine in cyclic order with a free slot.
+		assigned := false
+		for probe := 0; probe < n; probe++ {
+			j := (f.next + probe) % n
+			if v.free[j] > 0 {
+				out = append(out, Assignment{Task: t, Machine: j})
+				v.assign(ctx, t, j)
+				f.next = (j + 1) % n
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			break
+		}
+	}
+	return out
+}
+
+// EDF is Earliest Deadline First: the arrival queue is sorted by deadline,
+// and each head task goes to the machine with the minimum expected
+// completion time. Functionally the homogeneous analogue of MSD.
+type EDF struct{}
+
+// NewEDF returns the EDF heuristic.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Batch.
+func (*EDF) Name() string { return "EDF" }
+
+// Map implements Batch.
+func (*EDF) Map(ctx *Context, unmapped []*task.Task) []Assignment {
+	queue := append([]*task.Task(nil), unmapped...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Deadline < queue[j].Deadline })
+	return assignInOrder(ctx, queue)
+}
+
+// SJF is Shortest Job First: the arrival queue is sorted by expected
+// execution time, and each head task goes to the machine with the minimum
+// expected completion time. Functionally the homogeneous analogue of MM.
+type SJF struct{}
+
+// NewSJF returns the SJF heuristic.
+func NewSJF() *SJF { return &SJF{} }
+
+// Name implements Batch.
+func (*SJF) Name() string { return "SJF" }
+
+// Map implements Batch.
+func (*SJF) Map(ctx *Context, unmapped []*task.Task) []Assignment {
+	queue := append([]*task.Task(nil), unmapped...)
+	// On a homogeneous system the expected execution time is
+	// machine-independent; use machine 0's column.
+	sort.SliceStable(queue, func(i, j int) bool {
+		return ctx.MeanExec(queue[i].Type, 0) < ctx.MeanExec(queue[j].Type, 0)
+	})
+	return assignInOrder(ctx, queue)
+}
+
+// assignInOrder maps tasks in the given order, each to the machine with the
+// minimum expected completion time, until slots run out.
+func assignInOrder(ctx *Context, queue []*task.Task) []Assignment {
+	v := newVirtualState(ctx)
+	var out []Assignment
+	for _, t := range queue {
+		if v.total <= 0 {
+			break
+		}
+		j, _ := v.bestMachine(ctx, t)
+		if j < 0 {
+			break
+		}
+		out = append(out, Assignment{Task: t, Machine: j})
+		v.assign(ctx, t, j)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"math"
+
+	"prunesim/internal/task"
+)
+
+// DefaultKPBPercent is the K of K-Percent-Best used when none is given:
+// with the paper's eight machines it keeps the best 3 (ceil(8 * 0.30)).
+const DefaultKPBPercent = 30.0
+
+// RR assigns arriving tasks to machines in cyclic order, ignoring execution
+// and completion times entirely. It is the weakest immediate-mode baseline;
+// the paper notes it is the one heuristic probabilistic dropping can hurt,
+// because RR keeps mapping low-chance tasks that dropping then removes.
+type RR struct {
+	next int
+}
+
+// NewRR returns a fresh round-robin heuristic with its cursor at machine 0.
+func NewRR() *RR { return &RR{} }
+
+// Name implements Immediate.
+func (*RR) Name() string { return "RR" }
+
+// Pick implements Immediate.
+func (r *RR) Pick(ctx *Context, _ *task.Task) int {
+	j := r.next % len(ctx.Machines)
+	r.next = (r.next + 1) % len(ctx.Machines)
+	return j
+}
+
+// MET maps each task to the machine with the Minimum Expected execution Time
+// for its type, ignoring current load. On an inconsistently heterogeneous
+// system this concentrates load on high-affinity machines.
+type MET struct{}
+
+// NewMET returns the MET heuristic.
+func NewMET() *MET { return &MET{} }
+
+// Name implements Immediate.
+func (*MET) Name() string { return "MET" }
+
+// Pick implements Immediate.
+func (*MET) Pick(ctx *Context, t *task.Task) int {
+	best, bestExec := -1, math.Inf(1)
+	for j := range ctx.Machines {
+		if e := ctx.MeanExec(t.Type, j); e < bestExec {
+			best, bestExec = j, e
+		}
+	}
+	return best
+}
+
+// MCT maps each task to the machine with the Minimum expected Completion
+// Time: the machine's expected ready time plus the task's expected execution
+// time there.
+type MCT struct{}
+
+// NewMCT returns the MCT heuristic.
+func NewMCT() *MCT { return &MCT{} }
+
+// Name implements Immediate.
+func (*MCT) Name() string { return "MCT" }
+
+// Pick implements Immediate.
+func (*MCT) Pick(ctx *Context, t *task.Task) int {
+	best, bestC := -1, math.Inf(1)
+	for j, m := range ctx.Machines {
+		if c := m.ExpectedReady(ctx.Now) + ctx.MeanExec(t.Type, j); c < bestC {
+			best, bestC = j, c
+		}
+	}
+	return best
+}
+
+// KPB (K-Percent Best) blends MET and MCT: it applies the MCT rule but only
+// among the K percent of machines with the lowest expected execution time
+// for the arriving task's type.
+type KPB struct {
+	percent float64
+}
+
+// NewKPB returns a KPB heuristic keeping the given percentage of machines
+// (0 < percent <= 100). It panics on an out-of-range percentage.
+func NewKPB(percent float64) *KPB {
+	if percent <= 0 || percent > 100 {
+		panic("sched: KPB percent must be in (0, 100]")
+	}
+	return &KPB{percent: percent}
+}
+
+// Name implements Immediate.
+func (*KPB) Name() string { return "KPB" }
+
+// Pick implements Immediate.
+func (k *KPB) Pick(ctx *Context, t *task.Task) int {
+	n := len(ctx.Machines)
+	keep := int(math.Ceil(k.percent / 100 * float64(n)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > n {
+		keep = n
+	}
+	// Rank machines by expected execution time for this task type.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	for i := 1; i < n; i++ {
+		for p := i; p > 0 && ctx.MeanExec(t.Type, order[p]) < ctx.MeanExec(t.Type, order[p-1]); p-- {
+			order[p], order[p-1] = order[p-1], order[p]
+		}
+	}
+	best, bestC := -1, math.Inf(1)
+	for _, j := range order[:keep] {
+		if c := ctx.Machines[j].ExpectedReady(ctx.Now) + ctx.MeanExec(t.Type, j); c < bestC {
+			best, bestC = j, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,172 @@
+// Package sched implements the ten mapping heuristics the paper evaluates
+// (Figure 3): the immediate-mode heuristics RR, MET, MCT and KPB, the
+// batch-mode two-phase heuristics MM (MinCompletion-MinCompletion), MSD
+// (MinCompletion-SoonestDeadline) and MMU (MinCompletion-MaxUrgency) for
+// heterogeneous systems, and FCFS-RR, EDF and SJF for homogeneous systems.
+//
+// Heuristics are deliberately unaware of the pruning mechanism: the paper's
+// central claim is that the pruner plugs into an existing resource
+// allocation system without altering its mapping heuristic. The simulator
+// composes the two.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prunesim/internal/machine"
+	"prunesim/internal/task"
+)
+
+// Context is the read-only view of the resource-allocation state a heuristic
+// maps against during one mapping event.
+type Context struct {
+	// Now is the current simulation time.
+	Now float64
+	// Machines are the worker nodes (index == machine ID).
+	Machines []*machine.Machine
+	// MeanExec returns the expected execution time of a task type on a
+	// machine (by machine ID), read from the PET matrix.
+	MeanExec func(taskType, machineID int) float64
+	// Slots caps the number of pending (not yet running) tasks per machine
+	// queue in batch mode. Zero or negative means unbounded (immediate mode).
+	Slots int
+}
+
+// freeSlots returns how many more tasks machine j can accept.
+func (c *Context) freeSlots(j int) int {
+	if c.Slots <= 0 {
+		return math.MaxInt32
+	}
+	return c.Slots - c.Machines[j].PendingCount()
+}
+
+// Assignment is one task-to-machine mapping decision, in the order the
+// heuristic made it.
+type Assignment struct {
+	Task    *task.Task
+	Machine int
+}
+
+// Batch is a batch-mode mapping heuristic: given the unmapped tasks of the
+// arrival queue, produce assignments until machine queue slots are exhausted
+// or no task remains. Implementations must not mutate tasks or machines;
+// they reason over virtual state only.
+type Batch interface {
+	Name() string
+	Map(ctx *Context, unmapped []*task.Task) []Assignment
+}
+
+// Immediate is an immediate-mode heuristic: pick a machine for one arriving
+// task. Implementations may keep internal state (e.g. a round-robin cursor),
+// so construct a fresh instance per simulation.
+type Immediate interface {
+	Name() string
+	Pick(ctx *Context, t *task.Task) int
+}
+
+// virtualState tracks expected machine readiness while a batch heuristic
+// builds its provisional mapping.
+type virtualState struct {
+	ready []float64
+	free  []int
+	total int
+}
+
+func newVirtualState(ctx *Context) *virtualState {
+	v := &virtualState{
+		ready: make([]float64, len(ctx.Machines)),
+		free:  make([]int, len(ctx.Machines)),
+	}
+	for j, m := range ctx.Machines {
+		v.ready[j] = m.ExpectedReady(ctx.Now)
+		v.free[j] = ctx.freeSlots(j)
+		if v.free[j] < 0 {
+			v.free[j] = 0
+		}
+		v.total += v.free[j]
+	}
+	return v
+}
+
+func (v *virtualState) assign(ctx *Context, t *task.Task, j int) {
+	v.ready[j] += ctx.MeanExec(t.Type, j)
+	v.free[j]--
+	v.total--
+}
+
+// completion returns the expected completion time of task t if appended to
+// machine j's virtual queue.
+func (v *virtualState) completion(ctx *Context, t *task.Task, j int) float64 {
+	return v.ready[j] + ctx.MeanExec(t.Type, j)
+}
+
+// bestMachine returns the machine with minimum expected completion time for
+// t among machines with free virtual slots, or -1 if none.
+func (v *virtualState) bestMachine(ctx *Context, t *task.Task) (j int, completion float64) {
+	j, completion = -1, math.Inf(1)
+	for m := range ctx.Machines {
+		if v.free[m] <= 0 {
+			continue
+		}
+		if c := v.completion(ctx, t, m); c < completion {
+			j, completion = m, c
+		}
+	}
+	return j, completion
+}
+
+// ByName constructs a heuristic by its paper name. Immediate-mode names
+// return an Immediate; all others return a Batch. The second return reports
+// whether the heuristic is immediate-mode.
+func ByName(name string) (any, bool, error) {
+	switch name {
+	case "RR":
+		return NewRR(), true, nil
+	case "MET":
+		return NewMET(), true, nil
+	case "MCT":
+		return NewMCT(), true, nil
+	case "KPB":
+		return NewKPB(DefaultKPBPercent), true, nil
+	case "MM":
+		return NewMM(), false, nil
+	case "MSD":
+		return NewMSD(), false, nil
+	case "MMU":
+		return NewMMU(), false, nil
+	case "OLB":
+		return NewOLB(), true, nil
+	case "MaxMin":
+		return NewMaxMin(), false, nil
+	case "Sufferage":
+		return NewSufferage(), false, nil
+	case "FCFS-RR":
+		return NewFCFSRR(), false, nil
+	case "EDF":
+		return NewEDF(), false, nil
+	case "SJF":
+		return NewSJF(), false, nil
+	default:
+		return nil, false, fmt.Errorf("sched: unknown heuristic %q", name)
+	}
+}
+
+// Names lists all heuristic names accepted by ByName, grouped immediate
+// first, then batch heterogeneous, then homogeneous. The first ten are the
+// paper's heuristics; OLB, MaxMin and Sufferage are extra baselines from
+// the same literature.
+func Names() []string {
+	return []string{
+		"RR", "MET", "MCT", "KPB",
+		"MM", "MSD", "MMU",
+		"FCFS-RR", "EDF", "SJF",
+		"OLB", "MaxMin", "Sufferage",
+	}
+}
+
+// sortStable sorts assignments candidates deterministically.
+func sortTasksByArrival(ts []*task.Task) {
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+}

@@ -1,0 +1,327 @@
+package sched
+
+import (
+	"testing"
+
+	"prunesim/internal/machine"
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// testFixture builds a Context over nm machines with per-(type,machine) mean
+// execution times given by the means matrix [taskType][machine]. Every PET
+// is a point mass at the mean, so expectations are exact.
+func testFixture(means [][]float64, slots int) *Context {
+	nm := len(means[0])
+	machines := make([]*machine.Machine, nm)
+	for j := 0; j < nm; j++ {
+		j := j
+		lookup := func(taskType int) *pmf.PMF {
+			return pmf.Delta(means[taskType][j], 0.5)
+		}
+		machines[j] = machine.New(j, j, lookup, 0.5)
+	}
+	return &Context{
+		Now:      0,
+		Machines: machines,
+		MeanExec: func(taskType, machineID int) float64 { return means[taskType][machineID] },
+		Slots:    slots,
+	}
+}
+
+func TestRRCycles(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 1, 1}}, 0)
+	h := NewRR()
+	want := []int{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := h.Pick(ctx, task.New(i, 0, 0, 10)); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMETPicksAffinity(t *testing.T) {
+	// Type 0 fastest on machine 2; type 1 fastest on machine 0.
+	ctx := testFixture([][]float64{{5, 4, 1}, {2, 3, 9}}, 0)
+	h := NewMET()
+	if got := h.Pick(ctx, task.New(0, 0, 0, 10)); got != 2 {
+		t.Fatalf("type 0 -> machine %d, want 2", got)
+	}
+	if got := h.Pick(ctx, task.New(1, 1, 0, 10)); got != 0 {
+		t.Fatalf("type 1 -> machine %d, want 0", got)
+	}
+}
+
+func TestMETIgnoresLoad(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 5}}, 0)
+	// Load machine 0 heavily; MET still picks it.
+	for i := 0; i < 5; i++ {
+		ctx.Machines[0].Enqueue(task.New(i, 0, 0, 100), 0)
+	}
+	if got := NewMET().Pick(ctx, task.New(9, 0, 0, 100)); got != 0 {
+		t.Fatalf("MET picked %d, want 0 despite load", got)
+	}
+}
+
+func TestMCTAccountsForLoad(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 5}}, 0)
+	h := NewMCT()
+	// Empty: machine 0 wins (1 < 5).
+	if got := h.Pick(ctx, task.New(0, 0, 0, 100)); got != 0 {
+		t.Fatalf("unloaded pick %d, want 0", got)
+	}
+	// Five queued tasks on machine 0 -> ready 5, completion 6 > 5.
+	for i := 0; i < 5; i++ {
+		ctx.Machines[0].Enqueue(task.New(i, 0, 0, 100), 0)
+	}
+	if got := h.Pick(ctx, task.New(9, 0, 0, 100)); got != 1 {
+		t.Fatalf("loaded pick %d, want 1", got)
+	}
+}
+
+func TestKPBRestrictsToBestSubset(t *testing.T) {
+	// Machine 2 is by far fastest for type 0; machines 0,1 slow.
+	ctx := testFixture([][]float64{{10, 9, 1, 8}}, 0)
+	// 30% of 4 machines -> keep ceil(1.2) = 2 best: machines 2 and 3.
+	h := NewKPB(30)
+	// Load machine 2 so that MCT-within-subset prefers machine 3 — but an
+	// unrestricted MCT would have preferred idle machine 1 (9 < 8+0? no:
+	// machine 3 completion = 8 < 9). Load machine 3 too, then the only
+	// subset members are busy and KPB must still choose among them.
+	for i := 0; i < 3; i++ {
+		ctx.Machines[2].Enqueue(task.New(i, 0, 0, 1000), 0) // ready 3
+	}
+	got := h.Pick(ctx, task.New(9, 0, 0, 1000))
+	// Completion: machine 2 = 3+1 = 4, machine 3 = 8. Pick 2.
+	if got != 2 {
+		t.Fatalf("KPB pick %d, want 2", got)
+	}
+	// Even if machine 2's queue grows past machine 0's completion time, KPB
+	// must not leave the subset.
+	for i := 0; i < 20; i++ {
+		ctx.Machines[2].Enqueue(task.New(100+i, 0, 0, 1000), 0)
+	}
+	got = h.Pick(ctx, task.New(10, 0, 0, 1000))
+	if got != 3 {
+		t.Fatalf("KPB pick %d, want 3 (stays in subset)", got)
+	}
+}
+
+func TestKPBValidation(t *testing.T) {
+	for _, p := range []float64{0, -5, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KPB(%v): expected panic", p)
+				}
+			}()
+			NewKPB(p)
+		}()
+	}
+}
+
+func TestMMGlobalMinFirst(t *testing.T) {
+	// Two tasks, two machines, 1 slot each.
+	// Task 0: exec {3, 8}; task 1: exec {2, 4}.
+	// Min-Min: task 1 on machine 0 (completion 2) first, then task 0 must
+	// take machine 1 (completion 8).
+	ctx := testFixture([][]float64{{3, 8}, {2, 4}}, 1)
+	t0 := task.New(0, 0, 0, 100)
+	t1 := task.New(1, 1, 0, 100)
+	out := NewMM().Map(ctx, []*task.Task{t0, t1})
+	if len(out) != 2 {
+		t.Fatalf("assignments: %d, want 2", len(out))
+	}
+	if out[0].Task != t1 || out[0].Machine != 0 {
+		t.Fatalf("first assignment %v on %d, want task 1 on 0", out[0].Task.ID, out[0].Machine)
+	}
+	if out[1].Task != t0 || out[1].Machine != 1 {
+		t.Fatalf("second assignment %v on %d, want task 0 on 1", out[1].Task.ID, out[1].Machine)
+	}
+}
+
+func TestMMRespectsSlots(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 1}}, 2)
+	var tasks []*task.Task
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, task.New(i, 0, 0, 100))
+	}
+	out := NewMM().Map(ctx, tasks)
+	if len(out) != 4 { // 2 machines x 2 slots
+		t.Fatalf("assignments %d, want 4", len(out))
+	}
+	perMachine := map[int]int{}
+	for _, a := range out {
+		perMachine[a.Machine]++
+	}
+	for j, n := range perMachine {
+		if n > 2 {
+			t.Fatalf("machine %d got %d assignments, slots=2", j, n)
+		}
+	}
+}
+
+func TestMMVirtualLoadBalances(t *testing.T) {
+	// One machine much faster: with virtual ready-time updates, Min-Min
+	// should still spread when the fast machine's virtual queue grows.
+	ctx := testFixture([][]float64{{1, 3}}, 4)
+	var tasks []*task.Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, task.New(i, 0, 0, 100))
+	}
+	out := NewMM().Map(ctx, tasks)
+	onSlow := 0
+	for _, a := range out {
+		if a.Machine == 1 {
+			onSlow++
+		}
+	}
+	if onSlow == 0 {
+		t.Fatal("Min-Min never used the slow machine despite virtual queue growth")
+	}
+}
+
+func TestMSDPicksSoonestDeadline(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 10}, {1, 10}}, 1)
+	late := task.New(0, 0, 0, 100)
+	soon := task.New(1, 1, 0, 5)
+	out := NewMSD().Map(ctx, []*task.Task{late, soon})
+	if len(out) == 0 || out[0].Task != soon {
+		t.Fatalf("MSD first pick = %v, want soonest-deadline task", out[0].Task.ID)
+	}
+}
+
+func TestMSDTieBreakMinCompletion(t *testing.T) {
+	// Same deadline; type 1 runs faster -> lower completion wins the tie.
+	ctx := testFixture([][]float64{{4, 40}, {2, 40}}, 1)
+	a := task.New(0, 0, 0, 50)
+	b := task.New(1, 1, 0, 50)
+	out := NewMSD().Map(ctx, []*task.Task{a, b})
+	if len(out) == 0 || out[0].Task != b {
+		t.Fatal("MSD tie-break should pick the lower-completion task")
+	}
+}
+
+func TestMMUPrefersUrgent(t *testing.T) {
+	// Both tasks want machine 0 (exec 2 vs 50 on machine 1).
+	// Task 0 deadline 30 (slack 28), task 1 deadline 4 (slack 2: urgent).
+	ctx := testFixture([][]float64{{2, 50}, {2, 50}}, 1)
+	relaxed := task.New(0, 0, 0, 30)
+	urgent := task.New(1, 1, 0, 4)
+	out := NewMMU().Map(ctx, []*task.Task{relaxed, urgent})
+	if len(out) == 0 || out[0].Task != urgent {
+		t.Fatal("MMU should pick the most urgent task first")
+	}
+}
+
+func TestMMUDeprioritizesInfeasible(t *testing.T) {
+	// Task 1's expected completion (2) already exceeds its deadline (1):
+	// negative urgency, so feasible task 0 wins machine 0.
+	ctx := testFixture([][]float64{{2, 50}, {2, 50}}, 1)
+	feasible := task.New(0, 0, 0, 10)
+	infeasible := task.New(1, 1, 0, 1)
+	out := NewMMU().Map(ctx, []*task.Task{feasible, infeasible})
+	if len(out) == 0 || out[0].Task != feasible {
+		t.Fatal("MMU should deprioritize infeasible tasks")
+	}
+}
+
+func TestFCFSRROrderAndCursor(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 1, 1}}, 1)
+	h := NewFCFSRR()
+	t0 := task.New(0, 0, 0, 100)
+	t1 := task.New(1, 0, 0, 100)
+	out := h.Map(ctx, []*task.Task{t1, t0}) // order should be by ID (FCFS)
+	if len(out) != 2 || out[0].Task != t0 || out[0].Machine != 0 || out[1].Task != t1 || out[1].Machine != 1 {
+		t.Fatalf("FCFS-RR assignments wrong: %+v", out)
+	}
+	// Cursor persists: next map starts at machine 2.
+	out = h.Map(ctx, []*task.Task{task.New(2, 0, 0, 100)})
+	if len(out) != 1 || out[0].Machine != 2 {
+		t.Fatalf("cursor did not persist: %+v", out)
+	}
+}
+
+func TestFCFSRRSkipsFull(t *testing.T) {
+	ctx := testFixture([][]float64{{1, 1}}, 1)
+	ctx.Machines[0].Enqueue(task.New(50, 0, 0, 100), 0) // machine 0 full
+	out := NewFCFSRR().Map(ctx, []*task.Task{task.New(0, 0, 0, 100)})
+	if len(out) != 1 || out[0].Machine != 1 {
+		t.Fatalf("FCFS-RR should skip full machine: %+v", out)
+	}
+}
+
+func TestEDFSortsByDeadline(t *testing.T) {
+	ctx := testFixture([][]float64{{1}}, 3)
+	a := task.New(0, 0, 0, 30)
+	b := task.New(1, 0, 0, 10)
+	c := task.New(2, 0, 0, 20)
+	out := NewEDF().Map(ctx, []*task.Task{a, b, c})
+	if len(out) != 3 || out[0].Task != b || out[1].Task != c || out[2].Task != a {
+		t.Fatalf("EDF order wrong: %+v", out)
+	}
+}
+
+func TestSJFSortsByExec(t *testing.T) {
+	// Type 0 slow, type 1 fast.
+	ctx := testFixture([][]float64{{9}, {1}}, 2)
+	slow := task.New(0, 0, 0, 100)
+	fast := task.New(1, 1, 0, 100)
+	out := NewSJF().Map(ctx, []*task.Task{slow, fast})
+	if len(out) != 2 || out[0].Task != fast {
+		t.Fatalf("SJF order wrong: %+v", out)
+	}
+}
+
+func TestBatchHeuristicsStopAtZeroSlots(t *testing.T) {
+	heuristics := []Batch{NewMM(), NewMSD(), NewMMU(), NewFCFSRR(), NewEDF(), NewSJF()}
+	for _, h := range heuristics {
+		ctx := testFixture([][]float64{{1, 1}}, 1)
+		ctx.Machines[0].Enqueue(task.New(90, 0, 0, 100), 0)
+		ctx.Machines[1].Enqueue(task.New(91, 0, 0, 100), 0)
+		out := h.Map(ctx, []*task.Task{task.New(0, 0, 0, 100)})
+		if len(out) != 0 {
+			t.Errorf("%s assigned with no free slots: %+v", h.Name(), out)
+		}
+	}
+}
+
+func TestBatchHeuristicsEmptyQueue(t *testing.T) {
+	heuristics := []Batch{NewMM(), NewMSD(), NewMMU(), NewFCFSRR(), NewEDF(), NewSJF()}
+	for _, h := range heuristics {
+		ctx := testFixture([][]float64{{1, 1}}, 1)
+		if out := h.Map(ctx, nil); len(out) != 0 {
+			t.Errorf("%s assigned from empty queue", h.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		h, imm, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		switch v := h.(type) {
+		case Immediate:
+			if !imm {
+				t.Errorf("%q: Immediate but flagged batch", name)
+			}
+			if v.Name() != name {
+				t.Errorf("%q: Name() = %q", name, v.Name())
+			}
+		case Batch:
+			if imm {
+				t.Errorf("%q: Batch but flagged immediate", name)
+			}
+			if v.Name() != name {
+				t.Errorf("%q: Name() = %q", name, v.Name())
+			}
+		default:
+			t.Errorf("%q: unexpected type %T", name, h)
+		}
+	}
+	if _, _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}

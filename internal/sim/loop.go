@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"prunesim/internal/eventq"
+	"prunesim/internal/machine"
+	"prunesim/internal/randx"
+	"prunesim/internal/sched"
+	"prunesim/internal/task"
+)
+
+// minDuration floors sampled execution times so zero-length executions
+// cannot stall simulated time.
+const minDuration = 1e-6
+
+// emit sends a lifecycle event to the observer, if any.
+func (s *simulator) emit(kind TraceKind, t *task.Task, mach int, onTime bool) {
+	s.emitChance(kind, t, mach, onTime, -1)
+}
+
+// emitChance is emit with the predicted chance of success attached.
+func (s *simulator) emitChance(kind TraceKind, t *task.Task, mach int, onTime bool, chance float64) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	s.cfg.Observer(TraceEvent{
+		Time: s.now, Kind: kind, TaskID: t.ID, TaskType: t.Type,
+		Machine: mach, OnTime: onTime, Chance: chance,
+	})
+}
+
+func (s *simulator) run() (*Result, error) {
+	for _, t := range s.tasks {
+		t.Status = task.StatusUnarrived
+		t.Machine = -1
+		t.Start, t.Completion = 0, 0
+		t.Deferrals = 0
+		s.events.Push(eventq.Event{Time: t.Arrival, Kind: eventq.KindArrival, TaskID: t.ID, Machine: -1})
+	}
+	for s.events.Len() > 0 {
+		e := s.events.Pop()
+		s.now = e.Time
+		var arrived *task.Task
+		switch e.Kind {
+		case eventq.KindArrival:
+			t := s.tasks[e.TaskID]
+			t.Status = task.StatusBatchQueued
+			s.emit(TraceArrived, t, -1, false)
+			if s.cfg.Mode == BatchMode {
+				s.batch = append(s.batch, t)
+			} else {
+				arrived = t
+			}
+		case eventq.KindCompletion:
+			s.handleCompletion(e.Machine)
+		}
+		s.mappingEvent(arrived)
+	}
+	s.finalize()
+	if err := s.res.conservationError(); err != nil {
+		panic(err) // invariant violation: a simulator bug, not bad input
+	}
+	return &s.res, nil
+}
+
+// handleCompletion finishes the running task on machine j and feeds the
+// pruner's accounting.
+func (s *simulator) handleCompletion(j int) {
+	m := s.machines[j]
+	t := m.Complete(s.now)
+	dur := s.now - t.Start
+	s.res.BusyTime += dur
+	onTime := t.Status == task.StatusCompletedOnTime
+	if !onTime {
+		s.res.WastedTime += dur
+	}
+	s.pruner.RecordCompletion(t.Type, onTime)
+	s.emit(TraceCompleted, t, j, onTime)
+	if s.now > s.res.Makespan {
+		s.res.Makespan = s.now
+	}
+}
+
+// mappingEvent implements Figure 5. arrived is non-nil only in immediate
+// mode, where the triggering arrival must be mapped within its own event.
+func (s *simulator) mappingEvent(arrived *task.Task) {
+	s.res.MappingEvents++
+	s.reactiveSweep()
+	s.pruner.BeginEvent()
+	if s.pruner.DroppingEngaged() {
+		s.proactiveDrop()
+	}
+	if s.cfg.Mode == ImmediateMode {
+		if arrived != nil {
+			j := s.imm.Pick(s.schedCtx(), arrived)
+			chance := -1.0
+			if s.cfg.Observer != nil {
+				chance = s.machines[j].ChanceIfEnqueued(arrived.Type, arrived.Deadline, s.now)
+			}
+			s.machines[j].Enqueue(arrived, s.now)
+			s.emitChance(TraceMapped, arrived, j, false, chance)
+		}
+	} else {
+		s.batchMap()
+	}
+	s.startMachines()
+}
+
+// reactiveSweep drops every queued task whose deadline has already passed
+// (Figure 5 step 1) — the baseline behaviour of the system, active with or
+// without the pruning mechanism.
+func (s *simulator) reactiveSweep() {
+	if s.cfg.Mode == BatchMode && len(s.batch) > 0 {
+		kept := s.batch[:0]
+		for _, t := range s.batch {
+			if t.Missed(s.now) {
+				t.Status = task.StatusDroppedReactive
+				s.pruner.RecordReactiveDrop(t.Type)
+				s.emit(TraceDroppedReactive, t, -1, false)
+				continue
+			}
+			kept = append(kept, t)
+		}
+		for i := len(kept); i < len(s.batch); i++ {
+			s.batch[i] = nil
+		}
+		s.batch = kept
+	}
+	for _, m := range s.machines {
+		for _, t := range m.DropPending(s.now, func(e machine.Entry) bool {
+			return e.Task.Missed(s.now)
+		}) {
+			t.Status = task.StatusDroppedReactive
+			s.pruner.RecordReactiveDrop(t.Type)
+			s.emit(TraceDroppedReactive, t, t.Machine, false)
+		}
+	}
+}
+
+// proactiveDrop evicts machine-queued tasks whose chance of success is at or
+// below the fairness-adjusted threshold (Figure 5 steps 4-6).
+func (s *simulator) proactiveDrop() {
+	for _, m := range s.machines {
+		for _, t := range m.DropPending(s.now, func(e machine.Entry) bool {
+			chance := e.PCT.ProbLE(e.Task.Deadline)
+			return s.pruner.ShouldDropValued(chance, e.Task.Type, e.Task.Value)
+		}) {
+			t.Status = task.StatusDroppedProactive
+			s.pruner.RecordProactiveDrop(t.Type)
+			s.emit(TraceDroppedProactive, t, t.Machine, false)
+		}
+	}
+}
+
+// batchMap runs the mapping heuristic over the arrival queue and applies
+// the deferring operation to its assignments (Figure 5 steps 7-11). Tasks
+// deferred in this event are excluded from re-mapping until the next event.
+func (s *simulator) batchMap() {
+	if len(s.batch) == 0 {
+		return
+	}
+	ctx := s.schedCtx()
+	skip := make(map[int]bool) // task ID -> deferred or enqueued this event
+	enqueued := 0
+	for {
+		if s.totalFreeSlots() == 0 {
+			break
+		}
+		avail := make([]*task.Task, 0, len(s.batch))
+		for _, t := range s.batch {
+			if !skip[t.ID] {
+				avail = append(avail, t)
+			}
+		}
+		if len(avail) == 0 {
+			break
+		}
+		asgs := s.bat.Map(ctx, avail)
+		if len(asgs) == 0 {
+			break
+		}
+		for _, a := range asgs {
+			m := s.machines[a.Machine]
+			chance := m.ChanceIfEnqueued(a.Task.Type, a.Task.Deadline, s.now)
+			if s.pruner.ShouldDeferValued(chance, a.Task.Type, a.Task.Value) {
+				a.Task.Deferrals++
+				s.res.Deferrals++
+				s.pruner.RecordDeferral(a.Task.Type)
+				s.emitChance(TraceDeferred, a.Task, a.Machine, false, chance)
+				skip[a.Task.ID] = true
+				continue
+			}
+			m.Enqueue(a.Task, s.now)
+			s.emitChance(TraceMapped, a.Task, a.Machine, false, chance)
+			skip[a.Task.ID] = true
+			enqueued++
+		}
+	}
+	if enqueued > 0 {
+		kept := s.batch[:0]
+		for _, t := range s.batch {
+			if t.Status == task.StatusBatchQueued {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(s.batch); i++ {
+			s.batch[i] = nil
+		}
+		s.batch = kept
+	}
+}
+
+// startMachines begins execution on every idle machine with pending work and
+// schedules the corresponding completion events.
+func (s *simulator) startMachines() {
+	for j, m := range s.machines {
+		if !m.Idle() || m.PendingCount() == 0 {
+			continue
+		}
+		t := m.StartNext(s.now)
+		s.emit(TraceStarted, t, j, false)
+		dur := s.sampleDuration(t, m)
+		s.events.Push(eventq.Event{
+			Time:    s.now + dur,
+			Kind:    eventq.KindCompletion,
+			TaskID:  t.ID,
+			Machine: j,
+		})
+	}
+}
+
+// sampleDuration realizes the ground-truth execution time of t on m from
+// the PET PMF, using an independent per-(task, machine) random sub-stream.
+func (s *simulator) sampleDuration(t *task.Task, m *machine.Machine) float64 {
+	rng := randx.Split(s.cfg.Seed, uint64(t.ID)*256+uint64(m.ID()))
+	dur := s.matrix.PET(t.Type, m.TypeIndex()).Sample(rng)
+	if dur < minDuration {
+		dur = minDuration
+	}
+	return dur
+}
+
+func (s *simulator) schedCtx() *sched.Context {
+	slots := s.cfg.Slots
+	if s.cfg.Mode == ImmediateMode {
+		slots = 0 // unbounded machine queues
+	}
+	return &sched.Context{
+		Now:      s.now,
+		Machines: s.machines,
+		MeanExec: func(taskType, machineID int) float64 {
+			return s.matrix.MeanExec(taskType, s.machines[machineID].TypeIndex())
+		},
+		Slots: slots,
+	}
+}
+
+func (s *simulator) totalFreeSlots() int {
+	free := 0
+	for _, m := range s.machines {
+		if f := s.cfg.Slots - m.PendingCount(); f > 0 {
+			free += f
+		}
+	}
+	return free
+}
+
+// finalize resolves tasks still queued when the event stream dries up (they
+// can never run: no event will ever map or start them) and computes the
+// counted-window statistics.
+func (s *simulator) finalize() {
+	for _, t := range s.tasks {
+		if t.Status == task.StatusBatchQueued || t.Status == task.StatusMachineQueued {
+			if t.Missed(s.now) {
+				t.Status = task.StatusDroppedReactive
+			}
+		}
+	}
+	lo := s.cfg.ExcludeBoundary
+	hi := len(s.tasks) - s.cfg.ExcludeBoundary
+	s.res.TotalTasks = len(s.tasks)
+	s.res.PerTypeOnTime = make([]int, s.matrix.NumTaskTypes())
+	s.res.PerTypeDropped = make([]int, s.matrix.NumTaskTypes())
+	for _, t := range s.tasks {
+		if t.ID < lo || t.ID >= hi {
+			continue
+		}
+		s.res.Counted++
+		value := t.Value
+		if value <= 0 {
+			value = 1
+		}
+		s.res.ValueTotal += value
+		switch t.Status {
+		case task.StatusCompletedOnTime:
+			s.res.OnTime++
+			s.res.ValueOnTime += value
+			s.res.PerTypeOnTime[t.Type]++
+		case task.StatusCompletedLate:
+			s.res.Late++
+		case task.StatusDroppedReactive:
+			s.res.DroppedReactive++
+			s.res.PerTypeDropped[t.Type]++
+		case task.StatusDroppedProactive:
+			s.res.DroppedProactive++
+			s.res.PerTypeDropped[t.Type]++
+		default:
+			s.res.Unfinished++
+		}
+	}
+	if s.res.Counted > 0 {
+		s.res.Robustness = 100 * float64(s.res.OnTime) / float64(s.res.Counted)
+	}
+	if s.res.ValueTotal > 0 {
+		s.res.WeightedRobustness = 100 * s.res.ValueOnTime / s.res.ValueTotal
+	}
+}

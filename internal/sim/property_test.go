@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prunesim/internal/core"
+	"prunesim/internal/sched"
+	"prunesim/internal/workload"
+)
+
+// randomRun is a fuzzer-generated simulation configuration over a small
+// workload.
+type randomRun struct {
+	heuristic string
+	immediate bool
+	trial     int
+	numTasks  int
+	slots     int
+	prune     core.Config
+}
+
+// Generate implements quick.Generator.
+func (randomRun) Generate(r *rand.Rand, _ int) reflect.Value {
+	names := sched.Names()
+	rr := randomRun{
+		heuristic: names[r.Intn(len(names))],
+		trial:     r.Intn(4),
+		numTasks:  400 + r.Intn(1200),
+		slots:     1 + r.Intn(4),
+	}
+	switch rr.heuristic {
+	case "RR", "MET", "MCT", "KPB", "OLB":
+		rr.immediate = true
+	}
+	rr.prune = core.Config{
+		Enabled:        r.Intn(2) == 1,
+		Threshold:      float64(r.Intn(101)) / 100,
+		DeferEnabled:   r.Intn(2) == 1,
+		DropMode:       core.ToggleMode(r.Intn(3)),
+		DropAlpha:      1 + r.Intn(3),
+		FairnessFactor: float64(r.Intn(20)) / 100,
+		ValueAware:     r.Intn(2) == 1,
+		ValueRef:       float64(r.Intn(4)),
+		NumTaskTypes:   12,
+	}
+	return reflect.ValueOf(rr)
+}
+
+// TestPropSimulatorInvariants runs arbitrary valid configurations and
+// checks the result invariants the rest of the repository depends on. The
+// simulator's own conservation law additionally panics internally if
+// violated.
+func TestPropSimulatorInvariants(t *testing.T) {
+	f := func(rr randomRun) bool {
+		matrix := hcMatrix
+		machines := hcMachines
+		if rr.heuristic == "FCFS-RR" || rr.heuristic == "EDF" || rr.heuristic == "SJF" {
+			matrix = homMatrix
+			machines = homMachs
+		}
+		wcfg := workload.DefaultConfig(rr.numTasks)
+		wcfg.TimeSpan = 400
+		wcfg.NumSpikes = 2
+		wcfg.Trial = rr.trial
+		tasks := workload.Generate(matrix, wcfg)
+		h, _, err := sched.ByName(rr.heuristic)
+		if err != nil {
+			return false
+		}
+		mode := BatchMode
+		if rr.immediate {
+			mode = ImmediateMode
+		}
+		res, err := Run(matrix, tasks, Config{
+			Mode: mode, Heuristic: h, MachineTypes: machines,
+			Slots: rr.slots, Prune: rr.prune, Seed: uint64(rr.trial) + 1,
+			ExcludeBoundary: 20,
+		})
+		if err != nil {
+			t.Logf("%s: %v", rr.heuristic, err)
+			return false
+		}
+		switch {
+		case res.Robustness < 0 || res.Robustness > 100:
+			return false
+		case res.WeightedRobustness < 0 || res.WeightedRobustness > 100:
+			return false
+		case res.OnTime+res.Late+res.DroppedReactive+res.DroppedProactive+res.Unfinished != res.Counted:
+			return false
+		case res.WastedTime > res.BusyTime+1e-9:
+			return false
+		case !rr.prune.Enabled && (res.DroppedProactive != 0 || res.Deferrals != 0):
+			return false
+		case rr.immediate && res.Deferrals != 0:
+			return false
+		case res.MappingEvents == 0:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDeterministicAcrossRepeats: any random configuration repeated
+// with the same seeds yields the identical result.
+func TestPropDeterministicAcrossRepeats(t *testing.T) {
+	f := func(rr randomRun) bool {
+		matrix := hcMatrix
+		machines := hcMachines
+		if rr.heuristic == "FCFS-RR" || rr.heuristic == "EDF" || rr.heuristic == "SJF" {
+			matrix = homMatrix
+			machines = homMachs
+		}
+		run := func() *Result {
+			wcfg := workload.DefaultConfig(rr.numTasks)
+			wcfg.TimeSpan = 400
+			wcfg.NumSpikes = 2
+			wcfg.Trial = rr.trial
+			tasks := workload.Generate(matrix, wcfg)
+			h, _, _ := sched.ByName(rr.heuristic)
+			mode := BatchMode
+			if rr.immediate {
+				mode = ImmediateMode
+			}
+			res, err := Run(matrix, tasks, Config{
+				Mode: mode, Heuristic: h, MachineTypes: machines,
+				Slots: rr.slots, Prune: rr.prune, Seed: 3, ExcludeBoundary: 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		return a.OnTime == b.OnTime && a.Late == b.Late &&
+			a.DroppedReactive == b.DroppedReactive &&
+			a.DroppedProactive == b.DroppedProactive &&
+			a.Deferrals == b.Deferrals && a.Makespan == b.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package sim is the discrete-event simulator of the heterogeneous
+// serverless platform (Figure 1): tasks arrive at a resource-allocation
+// system (immediate- or batch-mode), a mapping heuristic assigns them to
+// machine queues, machines execute them FCFS without preemption, and the
+// pruning mechanism — when attached — drops and defers unlikely-to-succeed
+// tasks at every mapping event (Figure 5).
+//
+// A mapping event fires on every task arrival and on every task completion.
+// Simulations are fully deterministic given (workload, PET matrix, config
+// seed); actual execution times are sampled per (task, machine) pair from
+// the same PET PMFs the scheduler reasons over, so scheduler estimates and
+// ground truth share a distribution but individual realizations differ —
+// exactly the paper's two uncertainty sources.
+package sim
+
+import (
+	"fmt"
+
+	"prunesim/internal/core"
+	"prunesim/internal/eventq"
+	"prunesim/internal/machine"
+	"prunesim/internal/pet"
+	"prunesim/internal/pmf"
+	"prunesim/internal/sched"
+	"prunesim/internal/task"
+)
+
+// Mode selects the resource-allocation style (Figure 1a vs 1b).
+type Mode uint8
+
+const (
+	// BatchMode queues arrivals and maps them in two-phase batch events;
+	// machine queues have bounded pending slots.
+	BatchMode Mode = iota
+	// ImmediateMode maps every task the moment it arrives; machine queues
+	// are unbounded and there is no arrival queue (so no deferring).
+	ImmediateMode
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case BatchMode:
+		return "batch"
+	case ImmediateMode:
+		return "immediate"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Mode is the resource-allocation style. It must match the heuristic
+	// kind: sched.Immediate for ImmediateMode, sched.Batch for BatchMode.
+	Mode Mode
+	// Heuristic is the mapping heuristic instance (fresh per run — some
+	// heuristics carry cursors).
+	Heuristic any
+	// MachineTypes assigns a PET-matrix machine-type column to each
+	// machine; len(MachineTypes) is the cluster size.
+	MachineTypes []int
+	// Slots is the pending-queue capacity per machine in batch mode
+	// (paper-style small machine queues; default 2 via DefaultSlots).
+	Slots int
+	// Prune is the pruning mechanism configuration.
+	Prune core.Config
+	// Seed drives execution-time sampling. Each (task, machine) pair has an
+	// independent sub-stream, so the realized duration of a task on a given
+	// machine is identical across configurations — a variance-reduction
+	// device that sharpens head-to-head comparisons.
+	Seed uint64
+	// ExcludeBoundary excludes the first and last N tasks (by arrival
+	// order) from the robustness statistics, as the paper does with N=100,
+	// to measure the oversubscribed steady state.
+	ExcludeBoundary int
+	// Observer, when non-nil, receives every task lifecycle event. Used for
+	// trace export and debugging; it adds no cost when nil.
+	Observer func(TraceEvent)
+}
+
+// TraceKind classifies task lifecycle events for observers.
+type TraceKind uint8
+
+const (
+	// TraceArrived fires when a task reaches the resource allocator.
+	TraceArrived TraceKind = iota
+	// TraceMapped fires when a task is placed on a machine queue.
+	TraceMapped
+	// TraceDeferred fires when the pruner postpones a mapped task.
+	TraceDeferred
+	// TraceStarted fires when a machine begins executing a task.
+	TraceStarted
+	// TraceCompleted fires when execution finishes (on time or late).
+	TraceCompleted
+	// TraceDroppedReactive fires when a queued task is dropped past its
+	// deadline.
+	TraceDroppedReactive
+	// TraceDroppedProactive fires when the pruner drops a low-chance task.
+	TraceDroppedProactive
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrived:
+		return "arrived"
+	case TraceMapped:
+		return "mapped"
+	case TraceDeferred:
+		return "deferred"
+	case TraceStarted:
+		return "started"
+	case TraceCompleted:
+		return "completed"
+	case TraceDroppedReactive:
+		return "dropped-reactive"
+	case TraceDroppedProactive:
+		return "dropped-proactive"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one observed task lifecycle transition. Machine is -1 when
+// the task is not associated with a machine. OnTime is meaningful only for
+// TraceCompleted.
+type TraceEvent struct {
+	Time     float64
+	Kind     TraceKind
+	TaskID   int
+	TaskType int
+	Machine  int
+	OnTime   bool
+	// Chance is the task's predicted chance of success at the moment of the
+	// event. It is populated for TraceMapped and TraceDeferred events (the
+	// points where the system evaluates Eq. 2) and is -1 otherwise.
+	Chance float64
+}
+
+// DefaultSlots is the default pending-slot capacity per machine in batch
+// mode.
+const DefaultSlots = 2
+
+// Result aggregates one simulation run.
+type Result struct {
+	// TotalTasks is the number of tasks in the workload.
+	TotalTasks int
+	// Counted is the number of tasks inside the measurement window.
+	Counted int
+	// OnTime, Late, DroppedReactive, DroppedProactive and Unfinished
+	// partition Counted.
+	OnTime           int
+	Late             int
+	DroppedReactive  int
+	DroppedProactive int
+	Unfinished       int
+	// Deferrals is the total number of deferring decisions (a task may be
+	// deferred multiple times).
+	Deferrals int
+	// MappingEvents is the number of mapping events executed.
+	MappingEvents int
+	// Robustness is the paper's metric: percentage of counted tasks that
+	// completed on time.
+	Robustness float64
+	// ValueTotal and ValueOnTime sum task values over the counted window
+	// (all tasks, and on-time completions). WeightedRobustness is their
+	// ratio in percent — the metric of the value-aware pruning extension.
+	// With unit task values it equals Robustness.
+	ValueTotal         float64
+	ValueOnTime        float64
+	WeightedRobustness float64
+	// PerTypeOnTime and PerTypeDropped break outcomes down by task type
+	// (counted window only).
+	PerTypeOnTime  []int
+	PerTypeDropped []int
+	// BusyTime is total machine-seconds spent executing; WastedTime is the
+	// share spent on tasks that finished late (no value produced). These
+	// feed the paper's future-work energy/cost analysis.
+	BusyTime   float64
+	WastedTime float64
+	// Makespan is the completion time of the last event.
+	Makespan float64
+}
+
+// conservationError verifies that every counted task is in exactly one
+// terminal bucket.
+func (r *Result) conservationError() error {
+	sum := r.OnTime + r.Late + r.DroppedReactive + r.DroppedProactive + r.Unfinished
+	if sum != r.Counted {
+		return fmt.Errorf("sim: conservation violated: %d outcomes for %d counted tasks", sum, r.Counted)
+	}
+	return nil
+}
+
+// Run executes one simulation over the given workload. The task structs are
+// reset and mutated in place (generate a fresh workload per run if you need
+// the originals). It returns an error for configuration mistakes;
+// invariant violations panic, as they indicate bugs, not bad input.
+func Run(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*Result, error) {
+	s, err := newSimulator(matrix, tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type simulator struct {
+	matrix   *pet.Matrix
+	cfg      Config
+	tasks    []*task.Task
+	machines []*machine.Machine
+	batch    []*task.Task // arrival queue (batch mode)
+	imm      sched.Immediate
+	bat      sched.Batch
+	pruner   *core.Pruner
+	events   eventq.Queue
+	now      float64
+
+	res Result
+}
+
+func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulator, error) {
+	if matrix == nil {
+		return nil, fmt.Errorf("sim: nil PET matrix")
+	}
+	if len(cfg.MachineTypes) == 0 {
+		return nil, fmt.Errorf("sim: no machines configured")
+	}
+	for _, mt := range cfg.MachineTypes {
+		if mt < 0 || mt >= matrix.NumMachineTypes() {
+			return nil, fmt.Errorf("sim: machine type %d outside PET matrix (%d types)", mt, matrix.NumMachineTypes())
+		}
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = DefaultSlots
+	}
+	if cfg.Mode == BatchMode && cfg.Slots < 1 {
+		return nil, fmt.Errorf("sim: batch mode requires at least one queue slot, got %d", cfg.Slots)
+	}
+	if cfg.Prune.NumTaskTypes == 0 {
+		cfg.Prune.NumTaskTypes = matrix.NumTaskTypes()
+	}
+	if cfg.Prune.NumTaskTypes != matrix.NumTaskTypes() {
+		return nil, fmt.Errorf("sim: pruner sized for %d task types, matrix has %d",
+			cfg.Prune.NumTaskTypes, matrix.NumTaskTypes())
+	}
+	if err := cfg.Prune.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ExcludeBoundary < 0 || 2*cfg.ExcludeBoundary >= len(tasks) {
+		return nil, fmt.Errorf("sim: ExcludeBoundary %d out of range for %d tasks", cfg.ExcludeBoundary, len(tasks))
+	}
+	s := &simulator{matrix: matrix, cfg: cfg, tasks: tasks, pruner: core.New(cfg.Prune)}
+	switch h := cfg.Heuristic.(type) {
+	case sched.Immediate:
+		if cfg.Mode != ImmediateMode {
+			return nil, fmt.Errorf("sim: immediate heuristic %s with batch mode", h.Name())
+		}
+		s.imm = h
+	case sched.Batch:
+		if cfg.Mode != BatchMode {
+			return nil, fmt.Errorf("sim: batch heuristic %s with immediate mode", h.Name())
+		}
+		s.bat = h
+	default:
+		return nil, fmt.Errorf("sim: heuristic must be sched.Immediate or sched.Batch, got %T", cfg.Heuristic)
+	}
+	s.machines = make([]*machine.Machine, len(cfg.MachineTypes))
+	for j, mt := range cfg.MachineTypes {
+		mt := mt
+		s.machines[j] = machine.New(j, mt, func(taskType int) *pmf.PMF {
+			return matrix.PET(taskType, mt)
+		}, matrix.BinWidth())
+	}
+	return s, nil
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"prunesim/internal/core"
+	"prunesim/internal/sched"
+	"prunesim/internal/task"
+	"prunesim/internal/workload"
+)
+
+// valuedWorkload returns a small oversubscribed workload with task values
+// drawn from [1, 5].
+func valuedWorkload(n, trial int) []*task.Task {
+	cfg := workload.DefaultConfig(n)
+	cfg.TimeSpan = 600
+	cfg.NumSpikes = 3
+	cfg.ValueLo, cfg.ValueHi = 1, 5
+	cfg.Trial = trial
+	return workload.Generate(hcMatrix, cfg)
+}
+
+func TestWeightedRobustnessEqualsPlainWithUnitValues(t *testing.T) {
+	res, err := Run(hcMatrix, smallWorkload(2000, 1), batchCfg(sched.NewMM(), core.DefaultConfig(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.WeightedRobustness-res.Robustness) > 1e-9 {
+		t.Fatalf("unit values: weighted %.3f != plain %.3f", res.WeightedRobustness, res.Robustness)
+	}
+	if math.Abs(res.ValueTotal-float64(res.Counted)) > 1e-9 {
+		t.Fatalf("unit values: total value %.1f != counted %d", res.ValueTotal, res.Counted)
+	}
+}
+
+func TestValueAccountingWithMixedValues(t *testing.T) {
+	res, err := Run(hcMatrix, valuedWorkload(2500, 2), batchCfg(sched.NewMM(), core.DefaultConfig(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValueOnTime > res.ValueTotal {
+		t.Fatal("on-time value exceeds total value")
+	}
+	if res.WeightedRobustness <= 0 || res.WeightedRobustness > 100 {
+		t.Fatalf("weighted robustness %v out of range", res.WeightedRobustness)
+	}
+	// With values in [1,5] the mean task value is ~3, so total value should
+	// be roughly 3x the count.
+	ratio := res.ValueTotal / float64(res.Counted)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("mean task value %.2f, want ~3", ratio)
+	}
+}
+
+func TestValueAwarePruningLiftsWeightedRobustness(t *testing.T) {
+	// Average over a few trials: value-aware pruning should (weakly) improve
+	// the value-weighted metric versus value-blind pruning.
+	var blind, aware float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		cfgBlind := core.DefaultConfig(12)
+		resBlind, err := Run(hcMatrix, valuedWorkload(4000, trial), batchCfg(sched.NewMM(), cfgBlind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgAware := core.DefaultConfig(12)
+		cfgAware.ValueAware = true
+		cfgAware.ValueRef = 3 // mean of the [1, 5] value draw
+		resAware, err := Run(hcMatrix, valuedWorkload(4000, trial), batchCfg(sched.NewMM(), cfgAware))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blind += resBlind.WeightedRobustness
+		aware += resAware.WeightedRobustness
+	}
+	blind /= trials
+	aware /= trials
+	if aware < blind-1.5 { // allow small noise; must not be clearly worse
+		t.Fatalf("value-aware weighted robustness %.2f%% clearly below value-blind %.2f%%", aware, blind)
+	}
+}
+
+func TestWorkloadValuesInRange(t *testing.T) {
+	tasks := valuedWorkload(1000, 0)
+	for _, tk := range tasks {
+		if tk.Value < 1 || tk.Value >= 5 {
+			t.Fatalf("task %d value %v outside [1,5)", tk.ID, tk.Value)
+		}
+	}
+}
+
+func TestWorkloadDefaultUnitValues(t *testing.T) {
+	for _, tk := range smallWorkload(500, 0) {
+		if tk.Value != 1 {
+			t.Fatalf("default workload task value %v, want 1", tk.Value)
+		}
+	}
+}

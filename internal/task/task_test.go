@@ -1,0 +1,79 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	tk := New(7, 3, 1.5, 9.5)
+	if tk.ID != 7 || tk.Type != 3 || tk.Arrival != 1.5 || tk.Deadline != 9.5 {
+		t.Fatalf("fields wrong: %+v", tk)
+	}
+	if tk.Machine != -1 {
+		t.Fatalf("new task machine = %d, want -1", tk.Machine)
+	}
+	if tk.Status != StatusUnarrived {
+		t.Fatalf("new task status = %v", tk.Status)
+	}
+}
+
+func TestMissedAndSlack(t *testing.T) {
+	tk := New(0, 0, 0, 5)
+	if tk.Missed(5) {
+		t.Fatal("deadline instant should not count as missed")
+	}
+	if !tk.Missed(5.01) {
+		t.Fatal("past deadline should be missed")
+	}
+	if got := tk.Slack(3); got != 2 {
+		t.Fatalf("Slack(3) = %v", got)
+	}
+	if got := tk.Slack(7); got != -2 {
+		t.Fatalf("Slack(7) = %v", got)
+	}
+}
+
+func TestStatusTerminal(t *testing.T) {
+	terminal := []Status{StatusCompletedOnTime, StatusCompletedLate, StatusDroppedReactive, StatusDroppedProactive}
+	nonTerminal := []Status{StatusUnarrived, StatusBatchQueued, StatusMachineQueued, StatusRunning}
+	for _, s := range terminal {
+		if !s.Terminal() {
+			t.Errorf("%v should be terminal", s)
+		}
+	}
+	for _, s := range nonTerminal {
+		if s.Terminal() {
+			t.Errorf("%v should not be terminal", s)
+		}
+	}
+}
+
+func TestStatusDropped(t *testing.T) {
+	if !StatusDroppedReactive.Dropped() || !StatusDroppedProactive.Dropped() {
+		t.Fatal("dropped statuses not recognized")
+	}
+	if StatusCompletedOnTime.Dropped() || StatusRunning.Dropped() {
+		t.Fatal("non-dropped statuses misreported")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s := StatusUnarrived; s <= StatusDroppedProactive; s++ {
+		if str := s.String(); str == "" || strings.HasPrefix(str, "status(") {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+	if !strings.HasPrefix(Status(200).String(), "status(") {
+		t.Fatal("unknown status should fall back to numeric form")
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	s := New(3, 1, 0.5, 2.5).String()
+	for _, frag := range []string{"id=3", "type=1", "unarrived"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

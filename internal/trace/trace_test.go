@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"prunesim/internal/core"
+	"prunesim/internal/pet"
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+	"prunesim/internal/task"
+	"prunesim/internal/workload"
+)
+
+func TestWriterObservesFullRun(t *testing.T) {
+	matrix := pet.Standard(pet.DefaultParams())
+	cfg := workload.DefaultConfig(800)
+	cfg.TimeSpan = 400
+	cfg.NumSpikes = 2
+	tasks := workload.Generate(matrix, cfg)
+
+	var sb strings.Builder
+	w, err := NewWriter(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(matrix, tasks, sim.Config{
+		Mode: sim.BatchMode, Heuristic: sched.NewMM(),
+		MachineTypes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Prune:        core.DefaultConfig(12), Seed: 3, ExcludeBoundary: 10,
+		Observer: w.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time,event,task,type,machine,on_time" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if w.Events() != len(lines)-1 {
+		t.Fatalf("Events() = %d, lines = %d", w.Events(), len(lines)-1)
+	}
+	// Every task arrives exactly once.
+	arrived := strings.Count(out, ",arrived,")
+	if arrived != len(tasks) {
+		t.Fatalf("arrived events %d, tasks %d", arrived, len(tasks))
+	}
+	// Completions in the trace cover all completed tasks (counted window or
+	// not).
+	completed := strings.Count(out, ",completed,")
+	if completed == 0 {
+		t.Fatal("no completion events traced")
+	}
+	if res.OnTime == 0 {
+		t.Fatal("degenerate run")
+	}
+	for _, frag := range []string{",mapped,", ",started,"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %q events", frag)
+		}
+	}
+}
+
+func TestWriteTasks(t *testing.T) {
+	tasks := []*task.Task{
+		task.New(0, 3, 1.5, 9.25),
+		task.New(1, 7, 2.0, 11.5),
+	}
+	var sb strings.Builder
+	if err := WriteTasks(&sb, tasks); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "id,type,arrival,deadline" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,3,1.5000,9.2500") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWritePETMeans(t *testing.T) {
+	m := pet.Standard(pet.DefaultParams())
+	var sb strings.Builder
+	if err := WritePETMeans(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+m.NumTaskTypes() {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+m.NumTaskTypes())
+	}
+	if !strings.HasPrefix(lines[1], "gzip,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestWritePETPMF(t *testing.T) {
+	m := pet.Standard(pet.DefaultParams())
+	var sb strings.Builder
+	if err := WritePETPMF(&sb, m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("PMF export too small: %d lines", len(lines))
+	}
+	if err := WritePETPMF(&sb, m, 99, 0); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	if err := WritePETPMF(&sb, m, 0, -1); err == nil {
+		t.Fatal("negative machine accepted")
+	}
+}
+
+func TestReadTasksRoundTrip(t *testing.T) {
+	matrix := pet.Standard(pet.DefaultParams())
+	cfg := workload.DefaultConfig(600)
+	cfg.TimeSpan = 300
+	cfg.NumSpikes = 2
+	orig := workload.Generate(matrix, cfg)
+	var sb strings.Builder
+	if err := WriteTasks(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTasks(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Type != orig[i].Type {
+			t.Fatalf("task %d type %d, want %d", i, got[i].Type, orig[i].Type)
+		}
+		// CSV stores 4 decimal places.
+		if diff := got[i].Arrival - orig[i].Arrival; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("task %d arrival %v, want %v", i, got[i].Arrival, orig[i].Arrival)
+		}
+	}
+	// Re-imported workload must run.
+	res, err := sim.Run(matrix, got, sim.Config{
+		Mode: sim.BatchMode, Heuristic: sched.NewMM(),
+		MachineTypes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Prune:        core.DefaultConfig(12), Seed: 3, ExcludeBoundary: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime == 0 {
+		t.Fatal("imported workload produced degenerate run")
+	}
+}
+
+func TestReadTasksErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no header
+		"a,b\n",                               // wrong header
+		"id,type,arrival,deadline\n",          // no tasks
+		"id,type,arrival,deadline\nx,0,1,2\n", // bad id
+		"id,type,arrival,deadline\n0,x,1,2\n", // bad type
+		"id,type,arrival,deadline\n0,0,x,2\n", // bad arrival
+		"id,type,arrival,deadline\n0,0,1,x\n", // bad deadline
+		"id,type,arrival,deadline\n5,0,1,2\n", // id out of order
+		"id,type,arrival,deadline\n0,0,5,2\n", // deadline before arrival
+		"id,type,arrival,deadline\n0,0,1\n",   // short row
+	}
+	for i, in := range cases {
+		if _, err := ReadTasks(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

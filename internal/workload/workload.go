@@ -1,0 +1,240 @@
+// Package workload generates the synthetic task streams the paper evaluates
+// on (Section V-B): per-task-type arrival processes with Gamma-distributed
+// inter-arrival times (variance 10% of the mean), under either a constant
+// rate or a "spiky" rate profile (rate rises to 3x the base during spikes;
+// each spike lasts one third of a lull period), plus the hard-deadline
+// assignment of Eq. 4:
+//
+//	deadline = arrival + avg(type) + beta * avg(all),  beta ~ U[0.8, 2.5].
+//
+// The original trial files (git.io/fhSZW) are no longer retrievable, so
+// trials are regenerated from this recipe; a (seed, trial) pair pins a trial
+// exactly.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"prunesim/internal/pet"
+	"prunesim/internal/randx"
+	"prunesim/internal/task"
+)
+
+// Pattern selects the arrival-rate profile.
+type Pattern uint8
+
+const (
+	// Constant keeps each task type's arrival rate fixed for the whole span.
+	Constant Pattern = iota
+	// Spiky alternates lull and spike periods; during a spike the arrival
+	// rate rises to SpikeFactor times the base rate. This mimics arrival
+	// patterns observed in production video platforms and is the paper's
+	// default.
+	Spiky
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Constant:
+		return "constant"
+	case Spiky:
+		return "spiky"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one workload trial.
+type Config struct {
+	// Pattern is the arrival profile (paper default: Spiky).
+	Pattern Pattern
+	// NumTasks is the target expected number of tasks across all types
+	// (the paper's oversubscription knob: 15K, 20K, 25K).
+	NumTasks int
+	// TimeSpan is the workload duration in time units (paper Fig. 6: 3000).
+	TimeSpan float64
+	// NumSpikes is the number of spikes across the span (Spiky only).
+	NumSpikes int
+	// SpikeFactor multiplies the base rate during spikes (paper: 3).
+	SpikeFactor float64
+	// IATVarianceFrac is the inter-arrival Gamma variance as a fraction of
+	// the mean (paper: 0.10).
+	IATVarianceFrac float64
+	// BetaLo and BetaHi bound the per-task uniform slack multiplier beta
+	// (paper: [0.8, 2.5]).
+	BetaLo, BetaHi float64
+	// ValueLo and ValueHi bound the per-task uniform value (priority) draw
+	// for the value-aware pruning extension. Both zero means every task has
+	// unit value (the paper's baseline).
+	ValueLo, ValueHi float64
+	// Seed is the workload family seed; Trial varies arrival times within
+	// the same rate/pattern (the paper runs 30 trials per configuration).
+	Seed  uint64
+	Trial int
+}
+
+// DefaultConfig returns the paper's default workload parameters at the given
+// oversubscription level (total task count).
+func DefaultConfig(numTasks int) Config {
+	return Config{
+		Pattern:         Spiky,
+		NumTasks:        numTasks,
+		TimeSpan:        3000,
+		NumSpikes:       8,
+		SpikeFactor:     3,
+		IATVarianceFrac: 0.10,
+		BetaLo:          0.8,
+		BetaHi:          2.5,
+		Seed:            0x5eed2019,
+	}
+}
+
+// Generate builds one workload trial against the given PET matrix (the
+// matrix supplies avg_i and avg_all for the deadline formula). Tasks are
+// returned sorted by arrival time with IDs assigned in arrival order.
+func Generate(m *pet.Matrix, cfg Config) []*task.Task {
+	validate(cfg)
+	nt := m.NumTaskTypes()
+	profile := newProfile(cfg)
+	var all []*task.Task
+	for tt := 0; tt < nt; tt++ {
+		// Independent sub-stream per (trial, type): arrival processes of
+		// different types never interfere.
+		rng := randx.Split(cfg.Seed, uint64(cfg.Trial)*1000003+uint64(tt))
+		// Expected tasks of this type and the base (lull) rate that yields
+		// them given the profile's rate inflation.
+		perType := float64(cfg.NumTasks) / float64(nt)
+		baseRate := perType / (cfg.TimeSpan * profile.meanRateFactor())
+		meanIAT := 1 / baseRate
+		shape := meanIAT / cfg.IATVarianceFrac // Gamma: var = mean^2/shape = frac*mean
+		// Arrivals are generated on a "warped clock" that runs at the
+		// profile's instantaneous rate factor, so spikes compress
+		// inter-arrival gaps by SpikeFactor without changing their shape.
+		warped := rng.Gamma(shape, meanIAT/shape)
+		for {
+			t := profile.unwarp(warped)
+			if t > cfg.TimeSpan {
+				break
+			}
+			beta := rng.Uniform(cfg.BetaLo, cfg.BetaHi)
+			deadline := t + m.TaskAvg(tt) + beta*m.AvgAll()
+			tk := task.New(0, tt, t, deadline)
+			if cfg.ValueHi > 0 {
+				tk.Value = rng.Uniform(cfg.ValueLo, cfg.ValueHi)
+			}
+			all = append(all, tk)
+			warped += rng.Gamma(shape, meanIAT/shape)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Arrival != all[j].Arrival {
+			return all[i].Arrival < all[j].Arrival
+		}
+		return all[i].Type < all[j].Type
+	})
+	for i, t := range all {
+		t.ID = i
+	}
+	return all
+}
+
+// Rate returns the aggregate instantaneous arrival rate (tasks per time
+// unit, all types combined) the configuration targets at time t. Used to
+// reproduce the paper's Figure 6.
+func Rate(cfg Config, m *pet.Matrix, t float64) float64 {
+	validate(cfg)
+	profile := newProfile(cfg)
+	base := float64(cfg.NumTasks) / (cfg.TimeSpan * profile.meanRateFactor())
+	return base * profile.factorAt(t)
+}
+
+func validate(cfg Config) {
+	switch {
+	case cfg.NumTasks <= 0:
+		panic("workload: NumTasks must be positive")
+	case cfg.TimeSpan <= 0:
+		panic("workload: TimeSpan must be positive")
+	case cfg.IATVarianceFrac <= 0:
+		panic("workload: IATVarianceFrac must be positive")
+	case cfg.BetaHi < cfg.BetaLo:
+		panic("workload: BetaHi must be >= BetaLo")
+	case cfg.ValueHi > 0 && (cfg.ValueLo <= 0 || cfg.ValueHi < cfg.ValueLo):
+		panic("workload: task values require 0 < ValueLo <= ValueHi")
+	case cfg.Pattern == Spiky && (cfg.NumSpikes <= 0 || cfg.SpikeFactor <= 1):
+		panic(fmt.Sprintf("workload: spiky pattern requires NumSpikes > 0 and SpikeFactor > 1, got %d, %v",
+			cfg.NumSpikes, cfg.SpikeFactor))
+	}
+}
+
+// profile captures the piecewise-constant rate factor r(t) >= 1 relative to
+// the base rate, and the warping between real time and the "rate-weighted"
+// clock W(t) = integral of r.
+type profile struct {
+	constant    bool
+	span        float64
+	lull, spike float64 // segment structure: lull then spike, repeated
+	factor      float64
+	segments    int
+}
+
+func newProfile(cfg Config) profile {
+	if cfg.Pattern == Constant {
+		return profile{constant: true, span: cfg.TimeSpan}
+	}
+	// Each of the NumSpikes segments is a lull followed by a spike whose
+	// duration is one third of the lull: segment = lull * 4/3.
+	segment := cfg.TimeSpan / float64(cfg.NumSpikes)
+	lull := segment * 3 / 4
+	return profile{
+		span:     cfg.TimeSpan,
+		lull:     lull,
+		spike:    segment - lull,
+		factor:   cfg.SpikeFactor,
+		segments: cfg.NumSpikes,
+	}
+}
+
+// factorAt returns r(t).
+func (p profile) factorAt(t float64) float64 {
+	if p.constant || t < 0 || t > p.span {
+		if p.constant && t >= 0 && t <= p.span {
+			return 1
+		}
+		return 0
+	}
+	seg := p.lull + p.spike
+	pos := t - float64(int(t/seg))*seg
+	if pos < p.lull {
+		return 1
+	}
+	return p.factor
+}
+
+// meanRateFactor returns the time-average of r(t) over the span, used to
+// normalize the base rate so the expected task count matches NumTasks.
+func (p profile) meanRateFactor() float64 {
+	if p.constant {
+		return 1
+	}
+	seg := p.lull + p.spike
+	return (p.lull + p.factor*p.spike) / seg
+}
+
+// unwarp maps a warped-clock value w (with r-weighted time) back to real
+// time: finds t with W(t) = w.
+func (p profile) unwarp(w float64) float64 {
+	if p.constant {
+		return w
+	}
+	segW := p.lull + p.factor*p.spike // warped length of one segment
+	seg := p.lull + p.spike
+	n := int(w / segW)
+	rem := w - float64(n)*segW
+	t := float64(n) * seg
+	if rem <= p.lull {
+		return t + rem
+	}
+	return t + p.lull + (rem-p.lull)/p.factor
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"prunesim/internal/pet"
+)
+
+var testMatrix = pet.Standard(pet.DefaultParams())
+
+func cfgWith(n int, p Pattern) Config {
+	c := DefaultConfig(n)
+	c.Pattern = p
+	return c
+}
+
+func TestGenerateCountNearTarget(t *testing.T) {
+	for _, pat := range []Pattern{Constant, Spiky} {
+		cfg := cfgWith(15000, pat)
+		tasks := Generate(testMatrix, cfg)
+		got := float64(len(tasks))
+		if math.Abs(got-15000) > 0.05*15000 {
+			t.Errorf("%v: generated %v tasks, want ~15000", pat, got)
+		}
+	}
+}
+
+func TestGenerateSortedAndIDs(t *testing.T) {
+	tasks := Generate(testMatrix, cfgWith(5000, Spiky))
+	if !sort.SliceIsSorted(tasks, func(i, j int) bool { return tasks[i].Arrival < tasks[j].Arrival }) {
+		t.Fatal("tasks not sorted by arrival")
+	}
+	for i, tk := range tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+		if tk.Arrival < 0 || tk.Arrival > 3000 {
+			t.Fatalf("arrival %v outside span", tk.Arrival)
+		}
+	}
+}
+
+func TestDeadlineFormulaBounds(t *testing.T) {
+	cfg := cfgWith(3000, Constant)
+	tasks := Generate(testMatrix, cfg)
+	for _, tk := range tasks {
+		slack := tk.Deadline - tk.Arrival - testMatrix.TaskAvg(tk.Type)
+		lo := cfg.BetaLo * testMatrix.AvgAll()
+		hi := cfg.BetaHi * testMatrix.AvgAll()
+		if slack < lo-1e-9 || slack > hi+1e-9 {
+			t.Fatalf("task %d slack %v outside [%v,%v]", tk.ID, slack, lo, hi)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := cfgWith(4000, Spiky)
+	a := Generate(testMatrix, cfg)
+	b := Generate(testMatrix, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline || a[i].Type != b[i].Type {
+			t.Fatalf("task %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestTrialsDiffer(t *testing.T) {
+	cfg := cfgWith(4000, Spiky)
+	a := Generate(testMatrix, cfg)
+	cfg.Trial = 1
+	b := Generate(testMatrix, cfg)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].Arrival != b[i].Arrival {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different trials produced identical arrivals")
+		}
+	}
+}
+
+func TestAllTypesPresent(t *testing.T) {
+	tasks := Generate(testMatrix, cfgWith(6000, Constant))
+	seen := make(map[int]int)
+	for _, tk := range tasks {
+		seen[tk.Type]++
+	}
+	if len(seen) != testMatrix.NumTaskTypes() {
+		t.Fatalf("only %d/%d task types present", len(seen), testMatrix.NumTaskTypes())
+	}
+	// Types have equal expected counts; allow generous tolerance.
+	want := float64(len(tasks)) / float64(testMatrix.NumTaskTypes())
+	for tt, n := range seen {
+		if math.Abs(float64(n)-want) > 0.25*want {
+			t.Errorf("type %d count %d far from expected %v", tt, n, want)
+		}
+	}
+}
+
+func TestSpikyBurstiness(t *testing.T) {
+	// Compare max windowed arrival count: spiky must exceed constant.
+	window := 25.0
+	counts := func(p Pattern) (maxCount int) {
+		tasks := Generate(testMatrix, cfgWith(15000, p))
+		bins := make(map[int]int)
+		for _, tk := range tasks {
+			bins[int(tk.Arrival/window)]++
+		}
+		for _, c := range bins {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		return maxCount
+	}
+	spiky, constant := counts(Spiky), counts(Constant)
+	if float64(spiky) < 1.4*float64(constant) {
+		t.Fatalf("spiky peak %d not clearly above constant peak %d", spiky, constant)
+	}
+}
+
+func TestRateProfile(t *testing.T) {
+	cfg := cfgWith(12000, Spiky)
+	// Rate during a lull should be base; during a spike, 3x base.
+	segment := cfg.TimeSpan / float64(cfg.NumSpikes)
+	lullT := segment * 0.3                // inside first lull
+	spikeT := segment*3/4 + 0.1*segment/4 // inside first spike
+	rl := Rate(cfg, testMatrix, lullT)
+	rs := Rate(cfg, testMatrix, spikeT)
+	if math.Abs(rs/rl-cfg.SpikeFactor) > 1e-9 {
+		t.Fatalf("spike/lull rate ratio %v, want %v", rs/rl, cfg.SpikeFactor)
+	}
+	if Rate(cfg, testMatrix, -5) != 0 || Rate(cfg, testMatrix, cfg.TimeSpan+5) != 0 {
+		t.Fatal("rate outside span should be 0")
+	}
+	// Average of Rate over the span * span should equal NumTasks.
+	var sum float64
+	n := 30000
+	for i := 0; i < n; i++ {
+		sum += Rate(cfg, testMatrix, cfg.TimeSpan*float64(i)/float64(n))
+	}
+	integral := sum / float64(n) * cfg.TimeSpan
+	if math.Abs(integral-float64(cfg.NumTasks)) > 0.02*float64(cfg.NumTasks) {
+		t.Fatalf("rate integral %v, want ~%v", integral, cfg.NumTasks)
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	cfg := cfgWith(9000, Constant)
+	r := Rate(cfg, testMatrix, 1500)
+	want := float64(cfg.NumTasks) / cfg.TimeSpan
+	if math.Abs(r-want) > 1e-9 {
+		t.Fatalf("constant rate %v, want %v", r, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{NumTasks: 0, TimeSpan: 10, IATVarianceFrac: 0.1, BetaLo: 1, BetaHi: 2},
+		{NumTasks: 10, TimeSpan: 0, IATVarianceFrac: 0.1, BetaLo: 1, BetaHi: 2},
+		{NumTasks: 10, TimeSpan: 10, IATVarianceFrac: 0, BetaLo: 1, BetaHi: 2},
+		{NumTasks: 10, TimeSpan: 10, IATVarianceFrac: 0.1, BetaLo: 2, BetaHi: 1},
+		{Pattern: Spiky, NumTasks: 10, TimeSpan: 10, IATVarianceFrac: 0.1, BetaLo: 1, BetaHi: 2, NumSpikes: 0, SpikeFactor: 3},
+		{Pattern: Spiky, NumTasks: 10, TimeSpan: 10, IATVarianceFrac: 0.1, BetaLo: 1, BetaHi: 2, NumSpikes: 4, SpikeFactor: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Generate(testMatrix, cfg)
+		}()
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Constant.String() != "constant" || Spiky.String() != "spiky" || Pattern(9).String() != "unknown" {
+		t.Fatal("pattern strings wrong")
+	}
+}
+
+func BenchmarkGenerate15K(b *testing.B) {
+	cfg := cfgWith(15000, Spiky)
+	for i := 0; i < b.N; i++ {
+		cfg.Trial = i
+		_ = Generate(testMatrix, cfg)
+	}
+}

@@ -1,0 +1,119 @@
+package prunesim
+
+import (
+	"fmt"
+
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+)
+
+// schedByName resolves a heuristic name to a fresh instance.
+func schedByName(name string) (any, bool, error) { return sched.ByName(name) }
+
+// PlatformConfig describes a serverless platform to simulate: its machines,
+// allocation mode, mapping heuristic and pruning mechanism.
+type PlatformConfig struct {
+	// Matrix is the PET matrix; nil selects StandardPET().
+	Matrix *PETMatrix
+	// MachineTypes assigns a PET machine-type column to each machine; nil
+	// selects one machine of every type of the matrix.
+	MachineTypes []int
+	// Mode is the allocation style; the zero value is BatchAllocation.
+	Mode AllocationMode
+	// Heuristic is a mapping heuristic name from HeuristicNames(); empty
+	// selects "MM" in batch mode and "MCT" in immediate mode.
+	Heuristic string
+	// QueueSlots caps pending tasks per machine queue in batch mode
+	// (default 2).
+	QueueSlots int
+	// Pruning configures the pruning mechanism; the zero value disables
+	// probabilistic pruning.
+	Pruning PruningConfig
+	// Seed drives execution-time sampling.
+	Seed uint64
+	// ExcludeBoundary excludes the first/last N tasks from statistics
+	// (paper: 100). Values larger than the workload allow are clamped.
+	ExcludeBoundary int
+	// Observer, when non-nil, receives every task lifecycle event.
+	Observer func(TraceEvent)
+}
+
+// Platform is a configured serverless-platform simulator. Each Run builds a
+// fresh heuristic instance, so a Platform may be reused across workloads.
+type Platform struct {
+	cfg PlatformConfig
+}
+
+// NewPlatform validates the configuration and returns a Platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.Matrix == nil {
+		cfg.Matrix = StandardPET()
+	}
+	if cfg.MachineTypes == nil {
+		cfg.MachineTypes = make([]int, cfg.Matrix.NumMachineTypes())
+		for j := range cfg.MachineTypes {
+			cfg.MachineTypes[j] = j
+		}
+	}
+	if cfg.Heuristic == "" {
+		if cfg.Mode == ImmediateAllocation {
+			cfg.Heuristic = "MCT"
+		} else {
+			cfg.Heuristic = "MM"
+		}
+	}
+	if cfg.Pruning.NumTaskTypes == 0 {
+		cfg.Pruning.NumTaskTypes = cfg.Matrix.NumTaskTypes()
+	}
+	h, imm, err := sched.ByName(cfg.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	_ = h
+	if imm && cfg.Mode != ImmediateAllocation {
+		return nil, fmt.Errorf("prunesim: heuristic %q requires ImmediateAllocation", cfg.Heuristic)
+	}
+	if !imm && cfg.Mode != BatchAllocation {
+		return nil, fmt.Errorf("prunesim: heuristic %q requires BatchAllocation", cfg.Heuristic)
+	}
+	if err := cfg.Pruning.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{cfg: cfg}, nil
+}
+
+// Config returns the platform's (defaulted) configuration.
+func (p *Platform) Config() PlatformConfig { return p.cfg }
+
+// Run simulates the platform over the given workload. Task structs are
+// mutated in place (statuses, start/completion times); generate a fresh
+// workload per run to compare configurations.
+func (p *Platform) Run(tasks []*Task) (*Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("prunesim: empty workload")
+	}
+	h, _, err := sched.ByName(p.cfg.Heuristic) // fresh instance per run
+	if err != nil {
+		return nil, err
+	}
+	exclude := p.cfg.ExcludeBoundary
+	if 2*exclude >= len(tasks) {
+		exclude = (len(tasks) - 1) / 2
+	}
+	return sim.Run(p.cfg.Matrix, tasks, sim.Config{
+		Mode:            p.cfg.Mode,
+		Heuristic:       h,
+		MachineTypes:    p.cfg.MachineTypes,
+		Slots:           p.cfg.QueueSlots,
+		Prune:           p.cfg.Pruning,
+		Seed:            p.cfg.Seed,
+		ExcludeBoundary: exclude,
+		Observer:        p.cfg.Observer,
+	})
+}
+
+// RunTrial generates workload trial number `trial` from cfg and runs it.
+func (p *Platform) RunTrial(wcfg WorkloadConfig, trial int) (*Result, error) {
+	wcfg.Trial = trial
+	return p.Run(GenerateWorkload(p.cfg.Matrix, wcfg))
+}

@@ -1,0 +1,296 @@
+// Package prunesim is a simulator and library for probabilistic task
+// pruning in heterogeneous serverless computing systems, reproducing
+// Denninnart, Gentry & Amini Salehi, "Improving Robustness of Heterogeneous
+// Serverless Computing Systems Via Probabilistic Task Pruning" (IPDPS
+// Workshops 2019).
+//
+// The package is a facade over the implementation packages. A minimal
+// session:
+//
+//	matrix := prunesim.StandardPET()
+//	platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+//		Matrix:       matrix,
+//		MachineTypes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+//		Heuristic:    "MM",
+//		Pruning:      prunesim.DefaultPruning(matrix.NumTaskTypes()),
+//	})
+//	// ...
+//	tasks := prunesim.GenerateWorkload(matrix, prunesim.DefaultWorkload(15000))
+//	result, err := platform.Run(tasks)
+//	fmt.Printf("robustness: %.1f%%\n", result.Robustness)
+//
+// Key concepts (paper Section II):
+//
+//   - PET matrix: a Probabilistic Execution Time PMF per (task type,
+//     machine type) pair.
+//   - PCT: the Probabilistic Completion Time of a task, the convolution of
+//     its PET with the PCT of the task ahead of it in the machine queue.
+//   - Chance of success: P(PCT <= deadline).
+//   - Pruning: deferring or dropping tasks whose chance is below a
+//     threshold, with per-type fairness offsets and an oversubscription
+//     toggle.
+package prunesim
+
+import (
+	"prunesim/internal/calibration"
+	"prunesim/internal/core"
+	"prunesim/internal/energy"
+	"prunesim/internal/experiments"
+	"prunesim/internal/pet"
+	"prunesim/internal/pmf"
+	"prunesim/internal/sim"
+	"prunesim/internal/stats"
+	"prunesim/internal/task"
+	"prunesim/internal/workload"
+)
+
+// Probability distributions (see internal/pmf).
+type (
+	// PMF is a discrete probability mass function over time bins — the
+	// representation of execution and completion time uncertainty.
+	PMF = pmf.PMF
+)
+
+// NewPMF constructs a PMF from a mass vector starting at bin origin with
+// the given bin width; masses are normalized.
+func NewPMF(origin int, width float64, masses []float64, tail float64) *PMF {
+	return pmf.New(origin, width, masses, tail)
+}
+
+// DeltaPMF returns a point mass at time t with the given bin width.
+func DeltaPMF(t, width float64) *PMF { return pmf.Delta(t, width) }
+
+// PMFFromSamples histograms execution-time samples into a PMF (the paper's
+// PET construction recipe).
+func PMFFromSamples(samples []float64, width float64) *PMF {
+	return pmf.FromSamples(samples, width)
+}
+
+// PET matrices (see internal/pet).
+type (
+	// PETMatrix holds one execution-time PMF per (task type, machine type).
+	PETMatrix = pet.Matrix
+	// PETParams controls PET PMF generation.
+	PETParams = pet.Params
+)
+
+// DefaultPETParams returns the paper's PET generation parameters (500 Gamma
+// samples per cell, shape drawn from [1, 20]).
+func DefaultPETParams() PETParams { return pet.DefaultParams() }
+
+// StandardPET returns the shipped 12-benchmark x 8-machine inconsistently
+// heterogeneous PET matrix.
+func StandardPET() *PETMatrix { return pet.Standard(pet.DefaultParams()) }
+
+// HomogeneousPET returns the single-machine-type matrix used for the
+// paper's homogeneous-system experiments.
+func HomogeneousPET() *PETMatrix { return pet.Homogeneous(pet.DefaultParams()) }
+
+// NewPETMatrix generates a custom PET matrix from mean execution times
+// (rows: task types, columns: machine types).
+func NewPETMatrix(means [][]float64, taskNames, machineNames []string, p PETParams) *PETMatrix {
+	return pet.NewMatrix(means, taskNames, machineNames, p)
+}
+
+// Tasks and workloads (see internal/task, internal/workload).
+type (
+	// Task is one service request with a hard individual deadline.
+	Task = task.Task
+	// TaskStatus tracks a task through the allocation pipeline.
+	TaskStatus = task.Status
+	// WorkloadConfig parameterizes a workload trial.
+	WorkloadConfig = workload.Config
+	// ArrivalPattern selects constant or spiky arrivals.
+	ArrivalPattern = workload.Pattern
+)
+
+// Arrival patterns.
+const (
+	// ConstantArrival keeps the rate fixed across the span.
+	ConstantArrival = workload.Constant
+	// SpikyArrival alternates lulls with 3x-rate spikes (paper default).
+	SpikyArrival = workload.Spiky
+)
+
+// Task terminal statuses (subset of the full pipeline states).
+const (
+	// StatusCompletedOnTime marks a task that met its deadline.
+	StatusCompletedOnTime = task.StatusCompletedOnTime
+	// StatusCompletedLate marks a completion after the deadline.
+	StatusCompletedLate = task.StatusCompletedLate
+	// StatusDroppedReactive marks a drop after the deadline passed.
+	StatusDroppedReactive = task.StatusDroppedReactive
+	// StatusDroppedProactive marks a probabilistic (pruned) drop.
+	StatusDroppedProactive = task.StatusDroppedProactive
+)
+
+// NewTask creates a task of the given type with an arrival time and hard
+// deadline.
+func NewTask(id, taskType int, arrival, deadline float64) *Task {
+	return task.New(id, taskType, arrival, deadline)
+}
+
+// DefaultWorkload returns the paper's workload configuration (spiky, 3000
+// time units) at the given oversubscription level (total tasks: the paper
+// uses 15000, 20000, 25000).
+func DefaultWorkload(numTasks int) WorkloadConfig { return workload.DefaultConfig(numTasks) }
+
+// GenerateWorkload builds one workload trial (tasks sorted by arrival, IDs
+// in arrival order, deadlines per Eq. 4).
+func GenerateWorkload(m *PETMatrix, cfg WorkloadConfig) []*Task {
+	return workload.Generate(m, cfg)
+}
+
+// ArrivalRate returns the configured aggregate arrival rate at time t
+// (reproduces Figure 6).
+func ArrivalRate(cfg WorkloadConfig, m *PETMatrix, t float64) float64 {
+	return workload.Rate(cfg, m, t)
+}
+
+// Pruning (see internal/core — the paper's contribution).
+type (
+	// PruningConfig configures the pruning mechanism.
+	PruningConfig = core.Config
+	// ToggleMode selects when proactive dropping engages.
+	ToggleMode = core.ToggleMode
+)
+
+// Toggle modes.
+const (
+	// ToggleNever disables proactive dropping.
+	ToggleNever = core.ToggleNever
+	// ToggleAlways drops at every mapping event.
+	ToggleAlways = core.ToggleAlways
+	// ToggleReactive drops only under observed oversubscription.
+	ToggleReactive = core.ToggleReactive
+)
+
+// DefaultPruning returns the paper's pruning defaults: threshold 50%,
+// fairness factor 0.05, reactive toggle, deferring enabled.
+func DefaultPruning(numTaskTypes int) PruningConfig { return core.DefaultConfig(numTaskTypes) }
+
+// NoPruning disables probabilistic pruning (baseline systems).
+func NoPruning(numTaskTypes int) PruningConfig { return core.Disabled(numTaskTypes) }
+
+// Simulation (see internal/sim).
+type (
+	// Result aggregates one simulation run.
+	Result = sim.Result
+	// AllocationMode selects batch- or immediate-mode allocation.
+	AllocationMode = sim.Mode
+	// TraceEvent is a task lifecycle event for observers.
+	TraceEvent = sim.TraceEvent
+	// TraceKind classifies trace events.
+	TraceKind = sim.TraceKind
+)
+
+// Allocation modes.
+const (
+	// BatchAllocation queues arrivals and maps them in batch events.
+	BatchAllocation = sim.BatchMode
+	// ImmediateAllocation maps each task upon arrival.
+	ImmediateAllocation = sim.ImmediateMode
+)
+
+// Statistics (see internal/stats).
+type (
+	// Summary holds mean, deviation and a 95% confidence interval.
+	Summary = stats.Summary
+)
+
+// Summarize computes mean, stddev, min/max and 95% CI of xs.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// Experiments (see internal/experiments).
+type (
+	// FigureResult is one regenerated paper figure.
+	FigureResult = experiments.FigureResult
+	// FigureOptions tunes figure regeneration.
+	FigureOptions = experiments.Options
+	// FigureRow is one data point of a figure.
+	FigureRow = experiments.Row
+)
+
+// FigureNames lists the regenerable figures ("6", "7a", ... "a3").
+func FigureNames() []string { return experiments.Names() }
+
+// RunFigure regenerates one of the paper's figures.
+func RunFigure(name string, opt FigureOptions) (*FigureResult, error) {
+	return experiments.Run(name, opt)
+}
+
+// DefaultFigureOptions returns paper-scale regeneration settings (30
+// trials, full-size workloads).
+func DefaultFigureOptions() FigureOptions { return experiments.DefaultOptions() }
+
+// Energy and cost (see internal/energy; the paper's Section VII analysis).
+type (
+	// EnergyParams models cluster power draw and price.
+	EnergyParams = energy.Params
+	// EnergyReport is the energy/cost view of one run.
+	EnergyReport = energy.Report
+)
+
+// DefaultEnergyParams returns a representative server power/price profile.
+func DefaultEnergyParams() EnergyParams { return energy.DefaultParams() }
+
+// AnalyzeEnergy converts a simulation result into an energy/cost report.
+func AnalyzeEnergy(res *Result, machines int, p EnergyParams) (*EnergyReport, error) {
+	return energy.Analyze(res, machines, p)
+}
+
+// HeuristicNames lists all supported mapping heuristics: RR, MET, MCT, KPB,
+// OLB (immediate mode); MM, MSD, MMU, MaxMin, Sufferage (batch,
+// heterogeneous); FCFS-RR, EDF, SJF (batch, homogeneous). The paper
+// evaluates the first ten; OLB, MaxMin and Sufferage are extra baselines
+// from the same literature (Braun et al., Maheswaran et al.).
+func HeuristicNames() []string {
+	return []string{
+		"RR", "MET", "MCT", "KPB", "OLB",
+		"MM", "MSD", "MMU", "MaxMin", "Sufferage",
+		"FCFS-RR", "EDF", "SJF",
+	}
+}
+
+// ValueAwarePruning returns the paper's default pruning configuration with
+// the Section-VII cost/priority extension enabled: tasks with value above
+// valueRef are pruned more conservatively, below it more aggressively.
+func ValueAwarePruning(numTaskTypes int, valueRef float64) PruningConfig {
+	cfg := DefaultPruning(numTaskTypes)
+	cfg.ValueAware = true
+	cfg.ValueRef = valueRef
+	return cfg
+}
+
+// Calibration (see internal/calibration).
+type (
+	// CalibrationReport is a reliability table relating predicted chance of
+	// success to realized on-time frequency.
+	CalibrationReport = calibration.Report
+	// CalibrationBin is one chance bin of the table.
+	CalibrationBin = calibration.Bin
+)
+
+// AssessCalibration runs one simulation of the platform over the given
+// workload and returns the reliability table of the chance-of-success
+// estimator: tasks mapped at predicted chance p should complete on time
+// with empirical frequency near p. bins sets the table resolution.
+func (p *Platform) AssessCalibration(tasks []*Task, bins int) (*CalibrationReport, error) {
+	h, _, err := schedByName(p.cfg.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	exclude := p.cfg.ExcludeBoundary
+	if 2*exclude >= len(tasks) {
+		exclude = (len(tasks) - 1) / 2
+	}
+	return calibration.Assess(p.cfg.Matrix, tasks, sim.Config{
+		Mode:            p.cfg.Mode,
+		Heuristic:       h,
+		MachineTypes:    p.cfg.MachineTypes,
+		Slots:           p.cfg.QueueSlots,
+		Prune:           p.cfg.Pruning,
+		Seed:            p.cfg.Seed,
+		ExcludeBoundary: exclude,
+	}, bins)
+}

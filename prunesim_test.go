@@ -1,0 +1,271 @@
+package prunesim_test
+
+import (
+	"math"
+	"testing"
+
+	"prunesim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	matrix := prunesim.StandardPET()
+	platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Matrix:          matrix,
+		Heuristic:       "MM",
+		Pruning:         prunesim.DefaultPruning(matrix.NumTaskTypes()),
+		Seed:            1,
+		ExcludeBoundary: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(2000)
+	wcfg.TimeSpan = 500
+	wcfg.NumSpikes = 2
+	res, err := platform.RunTrial(wcfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robustness <= 0 || res.Robustness > 100 {
+		t.Fatalf("robustness %v", res.Robustness)
+	}
+	if res.Counted == 0 {
+		t.Fatal("nothing counted")
+	}
+}
+
+func TestPlatformDefaults(t *testing.T) {
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.Matrix == nil || cfg.Heuristic != "MM" || len(cfg.MachineTypes) != 8 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Pruning.NumTaskTypes != cfg.Matrix.NumTaskTypes() {
+		t.Fatal("pruning types not defaulted")
+	}
+}
+
+func TestPlatformImmediateDefaults(t *testing.T) {
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{Mode: prunesim.ImmediateAllocation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Heuristic != "MCT" {
+		t.Fatalf("immediate default heuristic = %q", p.Config().Heuristic)
+	}
+}
+
+func TestPlatformValidation(t *testing.T) {
+	cases := []prunesim.PlatformConfig{
+		{Heuristic: "NOPE"},
+		{Heuristic: "MCT"}, // immediate heuristic, batch mode
+		{Heuristic: "MM", Mode: prunesim.ImmediateAllocation}, // batch heuristic, immediate mode
+		{Pruning: prunesim.PruningConfig{NumTaskTypes: 12, Threshold: 7}},
+	}
+	for i, cfg := range cases {
+		if _, err := prunesim.NewPlatform(cfg); err == nil {
+			t.Errorf("case %d: config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPlatformEmptyWorkload(t *testing.T) {
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestPruningImprovesViaFacade(t *testing.T) {
+	matrix := prunesim.StandardPET()
+	wcfg := prunesim.DefaultWorkload(4000)
+	wcfg.TimeSpan = 600
+	wcfg.NumSpikes = 3
+
+	run := func(pruning prunesim.PruningConfig) float64 {
+		p, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+			Matrix: matrix, Heuristic: "MSD", Pruning: pruning, Seed: 5, ExcludeBoundary: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.RunTrial(wcfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Robustness
+	}
+	base := run(prunesim.NoPruning(12))
+	pruned := run(prunesim.DefaultPruning(12))
+	if pruned <= base {
+		t.Fatalf("pruning did not improve robustness: %.1f%% -> %.1f%%", base, pruned)
+	}
+}
+
+func TestObserverViaFacade(t *testing.T) {
+	events := 0
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Seed:     2,
+		Observer: func(prunesim.TraceEvent) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(500)
+	wcfg.TimeSpan = 300
+	wcfg.NumSpikes = 1
+	if _, err := p.RunTrial(wcfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("observer never invoked")
+	}
+}
+
+func TestPMFFacade(t *testing.T) {
+	// The paper's Figure 2 worked example through the public API.
+	petPMF := prunesim.NewPMF(1, 1, []float64{0.75, 0.125, 0.125}, 0)
+	queuePCT := prunesim.NewPMF(4, 1, []float64{0.5, 0.33, 0.17}, 0)
+	pct := petPMF.Convolve(queuePCT)
+	// P(PCT<=7) = mass at 5 (0.375) + 6 (0.31) + 7 (0.23125).
+	if got := pct.ProbLE(7); math.Abs(got-0.91625) > 1e-9 {
+		t.Fatalf("chance of success by t=7: %v", got)
+	}
+	d := prunesim.DeltaPMF(3, 1)
+	if d.Mean() != 3 {
+		t.Fatal("DeltaPMF mean wrong")
+	}
+	h := prunesim.PMFFromSamples([]float64{1, 1, 2}, 1)
+	if math.Abs(h.ProbLE(1.5)-2.0/3) > 1e-9 {
+		t.Fatal("PMFFromSamples wrong")
+	}
+}
+
+func TestEnergyFacade(t *testing.T) {
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(1000)
+	wcfg.TimeSpan = 400
+	wcfg.NumSpikes = 2
+	res, err := p.RunTrial(wcfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := prunesim.AnalyzeEnergy(res, 8, prunesim.DefaultEnergyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalJoules <= 0 {
+		t.Fatal("no energy computed")
+	}
+}
+
+func TestFigureRegistryViaFacade(t *testing.T) {
+	names := prunesim.FigureNames()
+	if len(names) != 12 {
+		t.Fatalf("figure names: %v", names)
+	}
+	fr, err := prunesim.RunFigure("6", prunesim.FigureOptions{Trials: 1, Scale: 0.05, Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Points) == 0 {
+		t.Fatal("figure 6 empty")
+	}
+}
+
+func TestHeuristicNamesMatchPlatform(t *testing.T) {
+	for _, name := range prunesim.HeuristicNames() {
+		mode := prunesim.BatchAllocation
+		switch name {
+		case "RR", "MET", "MCT", "KPB", "OLB":
+			mode = prunesim.ImmediateAllocation
+		}
+		if _, err := prunesim.NewPlatform(prunesim.PlatformConfig{Heuristic: name, Mode: mode}); err != nil {
+			t.Errorf("heuristic %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestSummarizeFacade(t *testing.T) {
+	s := prunesim.Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestCustomPETMatrix(t *testing.T) {
+	m := prunesim.NewPETMatrix(
+		[][]float64{{1, 2}, {2, 1}},
+		[]string{"encode", "scale"},
+		[]string{"cpu", "gpu"},
+		prunesim.DefaultPETParams(),
+	)
+	if m.NumTaskTypes() != 2 || m.NumMachineTypes() != 2 {
+		t.Fatal("custom matrix dims wrong")
+	}
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Matrix:       m,
+		MachineTypes: []int{0, 1},
+		Heuristic:    "MM",
+		Pruning:      prunesim.DefaultPruning(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(500)
+	wcfg.TimeSpan = 400
+	wcfg.NumSpikes = 2
+	res, err := p.RunTrial(wcfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime == 0 {
+		t.Fatal("degenerate custom-matrix run")
+	}
+}
+
+func TestAssessCalibrationViaFacade(t *testing.T) {
+	matrix := prunesim.StandardPET()
+	p, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Matrix:          matrix,
+		Heuristic:       "MM",
+		Pruning:         prunesim.NoPruning(matrix.NumTaskTypes()),
+		Seed:            4,
+		ExcludeBoundary: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := prunesim.DefaultWorkload(2000)
+	wcfg.TimeSpan = 600
+	wcfg.NumSpikes = 2
+	rep, err := p.AssessCalibration(prunesim.GenerateWorkload(matrix, wcfg), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mapped == 0 {
+		t.Fatal("no mapped tasks in calibration report")
+	}
+	if rep.MeanAbsGap > 0.25 {
+		t.Fatalf("estimator badly calibrated via facade: %.1f%%", 100*rep.MeanAbsGap)
+	}
+}
+
+func TestValueAwarePruningHelper(t *testing.T) {
+	cfg := prunesim.ValueAwarePruning(12, 3)
+	if !cfg.ValueAware || cfg.ValueRef != 3 || cfg.Threshold != 0.5 {
+		t.Fatalf("helper config wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
