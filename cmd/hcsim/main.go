@@ -1,8 +1,15 @@
-// Command hcsim runs a single simulation of the heterogeneous serverless
-// platform and prints the outcome breakdown — the quickest way to poke at
-// one configuration.
+// Command hcsim runs simulations of the heterogeneous serverless platform
+// and prints the outcome breakdown — the quickest way to poke at one
+// configuration.
 //
-// Usage:
+// The preferred front end is a declarative scenario file (see
+// examples/scenarios/ and DESIGN.md for the schema):
+//
+//	hcsim --scenario examples/scenarios/paper_fig9b_mm_pruned.json
+//	hcsim --scenario examples/scenarios/bursty_arrivals.json --trials 5 --scale 0.2
+//	hcsim --scenario examples/scenarios/mixed_sla_classes.json --out outcome.json
+//
+// Individual flags assemble a single ad-hoc trial instead:
 //
 //	hcsim -heuristic MM -tasks 15000 -prune
 //	hcsim -heuristic KPB -mode immediate -tasks 20000 -prune -toggle always
@@ -10,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,12 @@ import (
 
 func main() {
 	var (
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario file (JSON; see examples/scenarios/)")
+		trials       = flag.Int("trials", 0, "override the scenario's trial count")
+		parallelism  = flag.Int("parallelism", 0, "override the scenario's max concurrent trials")
+		scale        = flag.Float64("scale", 0, "override the scenario's workload scale factor")
+		outPath      = flag.String("out", "", "write the full outcome (scenario + per-trial results) as JSON")
+
 		heuristic   = flag.String("heuristic", "MM", "mapping heuristic (RR, MET, MCT, KPB, OLB, MM, MSD, MMU, MaxMin, Sufferage, FCFS-RR, EDF, SJF)")
 		mode        = flag.String("mode", "batch", "allocation mode: batch or immediate")
 		tasks       = flag.Int("tasks", 15000, "total tasks (oversubscription level)")
@@ -31,11 +45,28 @@ func main() {
 		noDefer     = flag.Bool("nodefer", false, "disable the deferring operation")
 		slots       = flag.Int("slots", 2, "pending queue slots per machine (batch mode)")
 		trial       = flag.Int("trial", 0, "workload trial number")
-		seed        = flag.Uint64("seed", 1, "execution-time sampling seed")
+		seed        = flag.Uint64("seed", 1, "random seed (scenario mode: workload seed; ad-hoc mode: execution sampling seed)")
 		energyFlag  = flag.Bool("energy", false, "print the energy/cost report")
 		calibrate   = flag.Bool("calibration", false, "print the chance-of-success reliability table")
 	)
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, overrides{
+			trials:      *trials,
+			parallelism: *parallelism,
+			scale:       *scale,
+			seed:        *seed,
+			out:         *outPath,
+			energy:      *energyFlag,
+		})
+		return
+	}
+	for _, name := range []string{"trials", "parallelism", "scale", "out"} {
+		if flagSet(name) {
+			fatal(fmt.Errorf("-%s applies only with -scenario", name))
+		}
+	}
 
 	matrix := prunesim.StandardPET()
 	machines := []int{0, 1, 2, 3, 4, 5, 6, 7}
@@ -103,6 +134,104 @@ func main() {
 	}
 	fmt.Printf("heuristic=%s mode=%s pattern=%s tasks=%d pruning=%v\n",
 		*heuristic, *mode, *pattern, *tasks, *prune)
+	printResult(res)
+	if *energyFlag {
+		printEnergy(res, len(machines))
+	}
+}
+
+// overrides carries the scenario-mode flag overrides; each applies only
+// when its flag was given explicitly on the command line.
+type overrides struct {
+	trials      int
+	parallelism int
+	scale       float64
+	seed        uint64
+	out         string
+	energy      bool
+}
+
+// runScenario loads and executes a scenario file and prints its summary.
+func runScenario(path string, o overrides) {
+	sc, err := prunesim.LoadScenario(path)
+	if err != nil {
+		fatal(err)
+	}
+	// Explicit overrides pass through even when invalid (negative trials,
+	// zero scale), so normalization rejects them loudly instead of
+	// silently keeping the file's setting.
+	if flagSet("trials") {
+		sc.Run.Trials = o.trials
+	}
+	if flagSet("parallelism") {
+		sc.Run.Parallelism = o.parallelism
+	}
+	if flagSet("scale") {
+		sc.Run.Scale = o.scale
+	}
+	if flagSet("seed") {
+		sc.Run.Seed = o.seed
+	}
+	outcome, err := prunesim.RunScenario(sc)
+	if err != nil {
+		fatal(err)
+	}
+	sc = outcome.Scenario // normalized: defaults filled in
+	fmt.Printf("scenario: %s\n", sc.Name)
+	if sc.Description != "" {
+		fmt.Printf("  %s\n", sc.Description)
+	}
+	fmt.Printf("platform: profile=%s machines=%d heuristic=%s pattern=%s tasks=%d prune=%v\n",
+		sc.Platform.Profile, sc.Platform.Machines, sc.Platform.Heuristic,
+		sc.Workload.Pattern, sc.Workload.Tasks, sc.Prune.Enabled)
+	fmt.Printf("run:      trials=%d scale=%g seed=%#x\n", sc.Run.Trials, sc.Run.Scale, sc.Run.Seed)
+	fmt.Printf("robustness:          %6.2f%% ± %.2f (95%% CI over %d trials)\n",
+		outcome.Robustness.Mean, outcome.Robustness.CI95, outcome.Robustness.N)
+	if sc.Workload.ValueHi > 0 {
+		fmt.Printf("weighted robustness: %6.2f%% ± %.2f\n",
+			outcome.WeightedRobustness.Mean, outcome.WeightedRobustness.CI95)
+	}
+	// Mean per-trial outcome breakdown.
+	var onTime, late, dropR, dropP, unfinished, deferrals float64
+	for _, r := range outcome.Results {
+		onTime += float64(r.OnTime)
+		late += float64(r.Late)
+		dropR += float64(r.DroppedReactive)
+		dropP += float64(r.DroppedProactive)
+		unfinished += float64(r.Unfinished)
+		deferrals += float64(r.Deferrals)
+	}
+	n := float64(len(outcome.Results))
+	fmt.Printf("mean per trial:      on-time %.0f, late %.0f, dropped reactive %.0f, dropped proactive %.0f, unfinished %.0f, deferrals %.0f\n",
+		onTime/n, late/n, dropR/n, dropP/n, unfinished/n, deferrals/n)
+	if o.energy {
+		printEnergy(outcome.Results[0], sc.Platform.Machines)
+	}
+	if o.out != "" {
+		data, err := json.MarshalIndent(outcome, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(o.out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// printResult prints the outcome breakdown of one simulation run.
+func printResult(res *prunesim.Result) {
 	fmt.Printf("robustness:        %6.2f%% (%d/%d on time)\n", res.Robustness, res.OnTime, res.Counted)
 	fmt.Printf("late completions:  %6d\n", res.Late)
 	fmt.Printf("dropped reactive:  %6d\n", res.DroppedReactive)
@@ -112,16 +241,18 @@ func main() {
 	fmt.Printf("mapping events:    %6d\n", res.MappingEvents)
 	fmt.Printf("makespan:          %8.1f time units\n", res.Makespan)
 	fmt.Printf("busy time:         %8.1f (wasted on late tasks: %.1f)\n", res.BusyTime, res.WastedTime)
-	if *energyFlag {
-		rep, err := prunesim.AnalyzeEnergy(res, len(machines), prunesim.DefaultEnergyParams())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("energy:            %8.0f kJ total, %.0f kJ wasted (%.1f%%)\n",
-			rep.TotalJoules/1000, rep.WastedJoules/1000, 100*rep.WastedFraction)
-		fmt.Printf("cost:              $%7.2f total, $%.2f wasted\n", rep.TotalDollars, rep.WastedDollars)
-		fmt.Printf("efficiency:        %8.0f J per on-time task\n", rep.JoulesPerOnTimeTask)
+}
+
+// printEnergy prints the energy/cost report of one run.
+func printEnergy(res *prunesim.Result, machines int) {
+	rep, err := prunesim.AnalyzeEnergy(res, machines, prunesim.DefaultEnergyParams())
+	if err != nil {
+		fatal(err)
 	}
+	fmt.Printf("energy:            %8.0f kJ total, %.0f kJ wasted (%.1f%%)\n",
+		rep.TotalJoules/1000, rep.WastedJoules/1000, 100*rep.WastedFraction)
+	fmt.Printf("cost:              $%7.2f total, $%.2f wasted\n", rep.TotalDollars, rep.WastedDollars)
+	fmt.Printf("efficiency:        %8.0f J per on-time task\n", rep.JoulesPerOnTimeTask)
 }
 
 func fatal(err error) {

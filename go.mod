@@ -1,0 +1,3 @@
+module prunesim
+
+go 1.22

@@ -1,21 +1,22 @@
 // Package experiments regenerates every figure of the paper's evaluation
 // (Section V) plus the ablation and extension studies listed in DESIGN.md.
-// Each figure is a named driver that sweeps the relevant configurations,
-// runs N independent workload trials per point (the paper uses 30), and
-// reports mean robustness with a 95% confidence interval.
+// Each figure is a named driver that declares the relevant configuration
+// sweep as a set of scenario values (one scenario.Cell per bar or curve
+// point), runs N independent workload trials per point (the paper uses 30)
+// through the shared scenario.Engine, and reports mean robustness with a
+// 95% confidence interval.
 //
-// Trials are embarrassingly parallel and run on a bounded worker pool.
+// Trials are embarrassingly parallel; the engine pools every (cell, trial)
+// job of a figure behind one bounded worker pool.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"prunesim/internal/core"
-	"prunesim/internal/pet"
-	"prunesim/internal/sched"
+	"prunesim/internal/scenario"
 	"prunesim/internal/sim"
 	"prunesim/internal/stats"
 	"prunesim/internal/workload"
@@ -111,123 +112,97 @@ func Run(name string, opt Options) (*FigureResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", name, Names())
 	}
-	return d(&harness{opt: opt})
+	return d(&harness{opt: opt, eng: scenario.NewEngine(opt.Parallelism)})
 }
 
-// harness carries shared state across one figure regeneration.
+// harness carries the options and the shared sweep engine across one figure
+// regeneration. The engine caches PET matrices, so figures mixing standard
+// and homogeneous platforms build each matrix once.
 type harness struct {
 	opt Options
-
-	onceHC, onceHom sync.Once
-	matrixHC        *pet.Matrix
-	matrixHom       *pet.Matrix
+	eng *scenario.Engine
 }
 
-func (h *harness) hc() *pet.Matrix {
-	h.onceHC.Do(func() { h.matrixHC = pet.Standard(pet.DefaultParams()) })
-	return h.matrixHC
-}
-
-func (h *harness) hom() *pet.Matrix {
-	h.onceHom.Do(func() { h.matrixHom = pet.Homogeneous(pet.DefaultParams()) })
-	return h.matrixHom
-}
-
-// spec pins one configuration point.
-type spec struct {
+// point pins one configuration of a paper sweep in the figures' native
+// vocabulary; scenario() lowers it to the declarative form the engine runs.
+type point struct {
 	homogeneous bool
-	mode        sim.Mode
+	immediate   bool
 	heuristic   string
 	prune       core.Config
 	pattern     workload.Pattern
-	numTasks    int  // paper-scale level; Scale is applied internally
+	numTasks    int  // paper-scale level; Options.Scale is applied by the engine
 	slots       int  // machine-queue pending slots; 0 means sim.DefaultSlots
 	valued      bool // draw task values from [1, 5] (value-aware extension)
 }
 
-// runTrials executes Trials independent trials of spec concurrently and
-// returns the per-trial results.
-func (h *harness) runTrials(s spec) ([]*sim.Result, error) {
-	matrix := h.hc()
-	machines := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	if s.homogeneous {
-		matrix = h.hom()
-		machines = make([]int, 8) // eight identical machines of type 0
+// scenario lowers a sweep point to a Scenario with the harness options
+// applied.
+func (h *harness) scenario(p point) scenario.Scenario {
+	sc := scenario.Scenario{
+		Name: fmt.Sprintf("%s-%s-%d", p.heuristic, p.pattern, p.numTasks),
+		Workload: scenario.Workload{
+			Pattern: p.pattern.String(),
+			Tasks:   p.numTasks,
+		},
+		Platform: scenario.Platform{
+			Heuristic: p.heuristic,
+			Slots:     p.slots,
+			Mode:      "batch",
+		},
+		Prune: scenario.FromCore(p.prune),
+		Run: scenario.Run{
+			Trials:      h.opt.Trials,
+			Seed:        h.opt.Seed,
+			Scale:       h.opt.Scale,
+			Parallelism: h.opt.Parallelism,
+		},
 	}
-	results := make([]*sim.Result, h.opt.Trials)
-	errs := make([]error, h.opt.Trials)
-	sem := make(chan struct{}, h.opt.Parallelism)
-	var wg sync.WaitGroup
-	for trial := 0; trial < h.opt.Trials; trial++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(trial int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[trial], errs[trial] = h.runOne(s, matrix, machines, trial)
-		}(trial)
+	if p.homogeneous {
+		sc.Platform.Profile = scenario.ProfileHomogeneous
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if p.immediate {
+		sc.Platform.Mode = "immediate"
 	}
-	return results, nil
+	if p.valued {
+		sc.Workload.ValueLo, sc.Workload.ValueHi = 1, 5
+	}
+	return sc
 }
 
-func (h *harness) runOne(s spec, matrix *pet.Matrix, machines []int, trial int) (*sim.Result, error) {
-	wcfg := workload.DefaultConfig(int(float64(s.numTasks) * h.opt.Scale))
-	wcfg.Pattern = s.pattern
-	wcfg.TimeSpan *= h.opt.Scale
-	wcfg.Seed = h.opt.Seed
-	wcfg.Trial = trial
-	if s.valued {
-		wcfg.ValueLo, wcfg.ValueHi = 1, 5
-	}
-	tasks := workload.Generate(matrix, wcfg)
+// cell tags a sweep point with its (series, x) position in the figure.
+func (h *harness) cell(series, x string, p point) scenario.Cell {
+	return scenario.Cell{Series: series, X: x, Scenario: h.scenario(p)}
+}
 
-	hAny, imm, err := sched.ByName(s.heuristic)
+// sweep resolves a figure's cells through the shared engine.
+func (h *harness) sweep(cells []scenario.Cell) ([]scenario.CellResult, error) {
+	return h.eng.Sweep(cells)
+}
+
+// robustnessRows runs a figure's cells and lowers each outcome to a plain
+// robustness row — the common case for bar-style figures without extra
+// metrics.
+func (h *harness) robustnessRows(cells []scenario.Cell) ([]Row, error) {
+	res, err := h.sweep(cells)
 	if err != nil {
 		return nil, err
 	}
-	mode := s.mode
-	if imm && mode != sim.ImmediateMode {
-		return nil, fmt.Errorf("experiments: %s is immediate-mode", s.heuristic)
+	rows := make([]Row, len(res))
+	for i, cr := range res {
+		rows[i] = Row{Series: cr.Series, X: cr.X, Robustness: cr.Outcome.Robustness}
 	}
-	exclude := 100
-	if len(tasks) <= 2*exclude+1 {
-		exclude = len(tasks) / 4
-	}
-	prune := s.prune
-	prune.NumTaskTypes = matrix.NumTaskTypes()
-	slots := s.slots
-	if slots == 0 {
-		slots = sim.DefaultSlots
-	}
-	return sim.Run(matrix, tasks, sim.Config{
-		Mode:            mode,
-		Heuristic:       hAny,
-		MachineTypes:    machines,
-		Slots:           slots,
-		Prune:           prune,
-		Seed:            h.opt.Seed ^ 0xabcd,
-		ExcludeBoundary: exclude,
-	})
-}
-
-// robustness runs the spec and summarizes the robustness metric.
-func (h *harness) robustness(s spec) (stats.Summary, []*sim.Result, error) {
-	results, err := h.runTrials(s)
-	if err != nil {
-		return stats.Summary{}, nil, err
-	}
-	xs := make([]float64, len(results))
-	for i, r := range results {
-		xs[i] = r.Robustness
-	}
-	return stats.Summarize(xs), results, nil
+	return rows, nil
 }
 
 // kLabel renders a paper-style oversubscription label ("15k").
 func kLabel(n int) string { return fmt.Sprintf("%dk", n/1000) }
+
+// perTrial extracts one float per trial from an outcome's results.
+func perTrial(o *scenario.Outcome, f func(*sim.Result) float64) []float64 {
+	xs := make([]float64, len(o.Results))
+	for i, r := range o.Results {
+		xs[i] = f(r)
+	}
+	return xs
+}

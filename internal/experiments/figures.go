@@ -5,6 +5,8 @@ import (
 
 	"prunesim/internal/core"
 	"prunesim/internal/energy"
+	"prunesim/internal/pet"
+	"prunesim/internal/scenario"
 	"prunesim/internal/sim"
 	"prunesim/internal/stats"
 	"prunesim/internal/workload"
@@ -41,7 +43,7 @@ var toggleVariants = []struct {
 func fig6(h *harness) (*FigureResult, error) {
 	cfg := workload.DefaultConfig(int(15000 * h.opt.Scale))
 	cfg.TimeSpan *= h.opt.Scale
-	matrix := h.hc()
+	matrix := pet.Standard(pet.DefaultParams())
 	const samples = 600
 	fr := &FigureResult{
 		Name:        "6",
@@ -74,21 +76,23 @@ func fig7a(h *harness) (*FigureResult, error) {
 		Title:       "Impact of Toggle on immediate-mode heuristics (spiky, 15K)",
 		Expectation: "reactive Toggle >= always dropping >= no dropping for MCT/MET/KPB; RR is the exception and KPB is best",
 	}
+	var cells []scenario.Cell
 	for _, tv := range toggleVariants {
 		for _, heur := range []string{"RR", "MCT", "MET", "KPB"} {
-			sum, _, err := h.robustness(spec{
-				mode:      sim.ImmediateMode,
+			cells = append(cells, h.cell(heur, tv.label, point{
+				immediate: true,
 				heuristic: heur,
 				prune:     prune7(tv.mode, false),
 				pattern:   workload.Spiky,
 				numTasks:  15000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			fr.Rows = append(fr.Rows, Row{Series: heur, X: tv.label, Robustness: sum})
+			}))
 		}
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -98,21 +102,22 @@ func fig7b(h *harness) (*FigureResult, error) {
 		Title:       "Impact of Toggle on batch-mode heuristics (spiky, 15K)",
 		Expectation: "reactive Toggle best for MM/MSD/MMU; batch robustness exceeds immediate",
 	}
+	var cells []scenario.Cell
 	for _, tv := range toggleVariants {
 		for _, heur := range []string{"MM", "MSD", "MMU"} {
-			sum, _, err := h.robustness(spec{
-				mode:      sim.BatchMode,
+			cells = append(cells, h.cell(heur, tv.label, point{
 				heuristic: heur,
 				prune:     prune7(tv.mode, true),
 				pattern:   workload.Spiky,
 				numTasks:  15000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			fr.Rows = append(fr.Rows, Row{Series: heur, X: tv.label, Robustness: sum})
+			}))
 		}
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -124,6 +129,7 @@ func fig8(h *harness) (*FigureResult, error) {
 		Title:       "Impact of task deferring threshold on batch-mode heuristics (spiky, 25K)",
 		Expectation: "robustness jumps from threshold 0 to 25-50% and plateaus at 50%; heuristics converge",
 	}
+	var cells []scenario.Cell
 	for _, th := range []float64{0, 0.25, 0.50, 0.75} {
 		prune := core.DefaultConfig(12)
 		prune.DropMode = core.ToggleNever // deferring only
@@ -132,19 +138,19 @@ func fig8(h *harness) (*FigureResult, error) {
 			prune = core.Disabled(12) // paper: threshold 0 = no pruning
 		}
 		for _, heur := range []string{"MM", "MSD", "MMU"} {
-			sum, _, err := h.robustness(spec{
-				mode:      sim.BatchMode,
+			cells = append(cells, h.cell(heur, fmt.Sprintf("%.0f%%", th*100), point{
 				heuristic: heur,
 				prune:     prune,
 				pattern:   workload.Spiky,
 				numTasks:  25000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			fr.Rows = append(fr.Rows, Row{Series: heur, X: fmt.Sprintf("%.0f%%", th*100), Robustness: sum})
+			}))
 		}
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -160,6 +166,7 @@ func fig9(h *harness, pattern workload.Pattern) (*FigureResult, error) {
 		Title:       fmt.Sprintf("Pruning on batch-mode HC heuristics (%s arrival)", pattern),
 		Expectation: "pruned (-P) variants dominate; the gap widens with oversubscription; MSD/MMU gain most",
 	}
+	var cells []scenario.Cell
 	for _, n := range []int{15000, 20000, 25000} {
 		for _, heur := range []string{"MM", "MSD", "MMU"} {
 			for _, pruned := range []bool{false, true} {
@@ -169,20 +176,20 @@ func fig9(h *harness, pattern workload.Pattern) (*FigureResult, error) {
 					prune = core.DefaultConfig(12)
 					series += "-P"
 				}
-				sum, _, err := h.robustness(spec{
-					mode:      sim.BatchMode,
+				cells = append(cells, h.cell(series, kLabel(n), point{
 					heuristic: heur,
 					prune:     prune,
 					pattern:   pattern,
 					numTasks:  n,
-				})
-				if err != nil {
-					return nil, err
-				}
-				fr.Rows = append(fr.Rows, Row{Series: series, X: kLabel(n), Robustness: sum})
+				}))
 			}
 		}
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -197,6 +204,7 @@ func fig10(h *harness, pattern workload.Pattern) (*FigureResult, error) {
 		Title:       fmt.Sprintf("Pruning on homogeneous-system heuristics (%s arrival)", pattern),
 		Expectation: "pruning helps homogeneous systems as much as heterogeneous ones; EDF/SJF collapse unpruned at 25K",
 	}
+	var cells []scenario.Cell
 	for _, n := range []int{15000, 20000, 25000} {
 		for _, heur := range []string{"FCFS-RR", "SJF", "EDF"} {
 			for _, pruned := range []bool{false, true} {
@@ -206,21 +214,21 @@ func fig10(h *harness, pattern workload.Pattern) (*FigureResult, error) {
 					prune = core.DefaultConfig(12)
 					series += "-P"
 				}
-				sum, _, err := h.robustness(spec{
+				cells = append(cells, h.cell(series, kLabel(n), point{
 					homogeneous: true,
-					mode:        sim.BatchMode,
 					heuristic:   heur,
 					prune:       prune,
 					pattern:     pattern,
 					numTasks:    n,
-				})
-				if err != nil {
-					return nil, err
-				}
-				fr.Rows = append(fr.Rows, Row{Series: series, X: kLabel(n), Robustness: sum})
+				}))
 			}
 		}
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -231,32 +239,33 @@ func ablationFairness(h *harness) (*FigureResult, error) {
 		Title:       "Ablation: fairness factor c (spiky, 20K, MM/MSD)",
 		Expectation: "robustness is largely flat in c; per-type drop spread shrinks as c grows",
 	}
+	var cells []scenario.Cell
 	for _, c := range []float64{0, 0.01, 0.05, 0.20} {
 		for _, heur := range []string{"MM", "MSD"} {
 			prune := core.DefaultConfig(12)
 			prune.FairnessFactor = c
-			sum, results, err := h.robustness(spec{
-				mode:      sim.BatchMode,
+			cells = append(cells, h.cell(heur, fmt.Sprintf("c=%.2f", c), point{
 				heuristic: heur,
 				prune:     prune,
 				pattern:   workload.Spiky,
 				numTasks:  20000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			// Per-type drop spread: max-min share of drops across types.
-			spreads := make([]float64, len(results))
-			for i, r := range results {
-				spreads[i] = dropSpread(r)
-			}
-			fr.Rows = append(fr.Rows, Row{
-				Series:     heur,
-				X:          fmt.Sprintf("c=%.2f", c),
-				Robustness: sum,
-				Extra:      map[string]stats.Summary{"drop_spread_pct": stats.Summarize(spreads)},
-			})
+			}))
 		}
+	}
+	res, err := h.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range res {
+		fr.Rows = append(fr.Rows, Row{
+			Series:     cr.Series,
+			X:          cr.X,
+			Robustness: cr.Outcome.Robustness,
+			Extra: map[string]stats.Summary{
+				// Per-type drop spread: max-min share of drops across types.
+				"drop_spread_pct": stats.Summarize(perTrial(cr.Outcome, dropSpread)),
+			},
+		})
 	}
 	return fr, nil
 }
@@ -291,20 +300,21 @@ func ablationSlots(h *harness) (*FigureResult, error) {
 		Title:       "Ablation: machine-queue pending slots (spiky, 20K, MM with pruning)",
 		Expectation: "small queues keep decisions late and accurate; robustness degrades as slots grow",
 	}
+	var cells []scenario.Cell
 	for _, slots := range []int{1, 2, 4, 8} {
-		sum, _, err := h.robustness(spec{
-			mode:      sim.BatchMode,
+		cells = append(cells, h.cell("MM-P", fmt.Sprintf("slots=%d", slots), point{
 			heuristic: "MM",
 			prune:     core.DefaultConfig(12),
 			pattern:   workload.Spiky,
 			numTasks:  20000,
 			slots:     slots,
-		})
-		if err != nil {
-			return nil, err
-		}
-		fr.Rows = append(fr.Rows, Row{Series: "MM-P", X: fmt.Sprintf("slots=%d", slots), Robustness: sum})
+		}))
 	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
 	return fr, nil
 }
 
@@ -317,6 +327,7 @@ func extensionEnergy(h *harness) (*FigureResult, error) {
 		Expectation: "pruning lowers wasted busy time, wasted energy and joules per on-time task at every level",
 	}
 	params := energy.DefaultParams()
+	var cells []scenario.Cell
 	for _, n := range []int{15000, 20000, 25000} {
 		for _, pruned := range []bool{false, true} {
 			prune := core.Disabled(12)
@@ -325,36 +336,38 @@ func extensionEnergy(h *harness) (*FigureResult, error) {
 				prune = core.DefaultConfig(12)
 				series = "MM-P"
 			}
-			sum, results, err := h.robustness(spec{
-				mode:      sim.BatchMode,
+			cells = append(cells, h.cell(series, kLabel(n), point{
 				heuristic: "MM",
 				prune:     prune,
 				pattern:   workload.Spiky,
 				numTasks:  n,
-			})
+			}))
+		}
+	}
+	res, err := h.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range res {
+		wastedPct := make([]float64, len(cr.Outcome.Results))
+		jptask := make([]float64, len(cr.Outcome.Results))
+		for i, r := range cr.Outcome.Results {
+			rep, err := energy.Analyze(r, 8, params)
 			if err != nil {
 				return nil, err
 			}
-			wastedPct := make([]float64, len(results))
-			jptask := make([]float64, len(results))
-			for i, r := range results {
-				rep, err := energy.Analyze(r, 8, params)
-				if err != nil {
-					return nil, err
-				}
-				wastedPct[i] = 100 * rep.WastedFraction
-				jptask[i] = rep.JoulesPerOnTimeTask
-			}
-			fr.Rows = append(fr.Rows, Row{
-				Series:     series,
-				X:          kLabel(n),
-				Robustness: sum,
-				Extra: map[string]stats.Summary{
-					"wasted_energy_pct":  stats.Summarize(wastedPct),
-					"joules_per_on_time": stats.Summarize(jptask),
-				},
-			})
+			wastedPct[i] = 100 * rep.WastedFraction
+			jptask[i] = rep.JoulesPerOnTimeTask
 		}
+		fr.Rows = append(fr.Rows, Row{
+			Series:     cr.Series,
+			X:          cr.X,
+			Robustness: cr.Outcome.Robustness,
+			Extra: map[string]stats.Summary{
+				"wasted_energy_pct":  stats.Summarize(wastedPct),
+				"joules_per_on_time": stats.Summarize(jptask),
+			},
+		})
 	}
 	return fr, nil
 }
@@ -369,6 +382,7 @@ func extensionValueAware(h *harness) (*FigureResult, error) {
 		Title:       "Extension: value-aware pruning (spiky, MM, task values in [1,5])",
 		Expectation: "value-aware pruning lifts value-weighted robustness over value-blind pruning; plain robustness stays comparable",
 	}
+	var cells []scenario.Cell
 	for _, n := range []int{20000, 25000} {
 		for _, variant := range []string{"MM", "MM-P", "MM-PV"} {
 			prune := core.Disabled(12)
@@ -380,30 +394,26 @@ func extensionValueAware(h *harness) (*FigureResult, error) {
 				prune.ValueAware = true
 				prune.ValueRef = 3 // mean of the [1, 5] value draw
 			}
-			results, err := h.runTrials(spec{
-				mode:      sim.BatchMode,
+			cells = append(cells, h.cell(variant, kLabel(n), point{
 				heuristic: "MM",
 				prune:     prune,
 				pattern:   workload.Spiky,
 				numTasks:  n,
 				valued:    true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rob := make([]float64, len(results))
-			weighted := make([]float64, len(results))
-			for i, r := range results {
-				rob[i] = r.Robustness
-				weighted[i] = r.WeightedRobustness
-			}
-			fr.Rows = append(fr.Rows, Row{
-				Series:     variant,
-				X:          kLabel(n),
-				Robustness: stats.Summarize(rob),
-				Extra:      map[string]stats.Summary{"weighted_robustness_pct": stats.Summarize(weighted)},
-			})
+			}))
 		}
+	}
+	res, err := h.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range res {
+		fr.Rows = append(fr.Rows, Row{
+			Series:     cr.Series,
+			X:          cr.X,
+			Robustness: cr.Outcome.Robustness,
+			Extra:      map[string]stats.Summary{"weighted_robustness_pct": cr.Outcome.WeightedRobustness},
+		})
 	}
 	return fr, nil
 }

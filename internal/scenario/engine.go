@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"prunesim/internal/pet"
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+	"prunesim/internal/stats"
+	"prunesim/internal/workload"
+)
+
+// Outcome is the result of running one scenario: the per-trial simulation
+// results plus summaries of the headline metrics.
+type Outcome struct {
+	// Scenario is the normalized scenario that produced the outcome.
+	Scenario Scenario `json:"scenario"`
+	// Robustness summarizes the paper's metric (% of counted tasks on
+	// time) across trials.
+	Robustness stats.Summary `json:"robustness"`
+	// WeightedRobustness summarizes the value-weighted variant; with
+	// unit task values it equals Robustness.
+	WeightedRobustness stats.Summary `json:"weighted_robustness"`
+	// Results holds one simulation result per trial, in trial order.
+	Results []*sim.Result `json:"results"`
+}
+
+// Cell is one configuration point of a sweep: a scenario tagged with the
+// series and x labels under which its outcome is reported. Figure drivers
+// express each bar or curve point as a Cell.
+type Cell struct {
+	// Series and X locate the cell in a figure (series = legend entry,
+	// X = axis category).
+	Series string `json:"series"`
+	X      string `json:"x"`
+	// Scenario is the configuration to run.
+	Scenario Scenario `json:"scenario"`
+}
+
+// CellResult pairs a cell's labels with its outcome.
+type CellResult struct {
+	Series  string   `json:"series"`
+	X       string   `json:"x"`
+	Outcome *Outcome `json:"outcome"`
+}
+
+// Engine resolves and runs scenarios. It caches generated PET matrices
+// (keyed by profile and generation parameters), so sweeps spanning many
+// cells pay matrix construction once. An Engine is safe for concurrent use.
+type Engine struct {
+	// Parallelism bounds concurrent trials per Run or Sweep call; 0
+	// falls back to the scenario's own setting (Run) or GOMAXPROCS
+	// (Sweep).
+	Parallelism int
+
+	mu       sync.Mutex
+	matrices map[matrixKey]*pet.Matrix
+}
+
+// matrixKey identifies one generated PET matrix.
+type matrixKey struct {
+	profile string
+	params  pet.Params
+}
+
+// NewEngine returns an Engine with the given trial parallelism bound
+// (0 = GOMAXPROCS).
+func NewEngine(parallelism int) *Engine {
+	return &Engine{Parallelism: parallelism}
+}
+
+// matrix returns the cached PET matrix for a normalized scenario, building
+// it on first use.
+func (e *Engine) matrix(s Scenario) *pet.Matrix {
+	params := pet.DefaultParams()
+	if o := s.Platform.PET; o != nil {
+		if o.BinWidth > 0 {
+			params.BinWidth = o.BinWidth
+		}
+		if o.Samples > 0 {
+			params.Samples = o.Samples
+		}
+		if o.ShapeLo > 0 {
+			params.ShapeLo = o.ShapeLo
+		}
+		if o.ShapeHi > 0 {
+			params.ShapeHi = o.ShapeHi
+		}
+		if o.Seed != 0 {
+			params.Seed = o.Seed
+		}
+	}
+	key := matrixKey{profile: s.Platform.Profile, params: params}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.matrices[key]; ok {
+		return m
+	}
+	var m *pet.Matrix
+	if s.Platform.Profile == ProfileHomogeneous {
+		m = pet.Homogeneous(params)
+	} else {
+		m = pet.Standard(params)
+	}
+	if e.matrices == nil {
+		e.matrices = make(map[matrixKey]*pet.Matrix)
+	}
+	e.matrices[key] = m
+	return m
+}
+
+// machineTypes returns the per-machine PET column assignment of a
+// normalized scenario: homogeneous clusters are all type 0; standard
+// clusters cycle through the matrix's machine types.
+func machineTypes(s Scenario, m *pet.Matrix) []int {
+	types := make([]int, s.Platform.Machines)
+	if s.Platform.Profile == ProfileHomogeneous {
+		return types
+	}
+	for i := range types {
+		types[i] = i % m.NumMachineTypes()
+	}
+	return types
+}
+
+// Run normalizes and executes one scenario, running its trials on a bounded
+// worker pool.
+func (e *Engine) Run(s Scenario) (*Outcome, error) {
+	s, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	par := e.Parallelism
+	if par <= 0 {
+		par = s.Run.Parallelism
+	}
+	results := make([]*sim.Result, s.Run.Trials)
+	errs := make([]error, s.Run.Trials)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for trial := 0; trial < s.Run.Trials; trial++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(trial int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[trial], errs[trial] = e.runTrial(s, trial)
+		}(trial)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return summarize(s, results), nil
+}
+
+// Sweep executes a set of cells, pooling all (cell, trial) jobs behind one
+// parallelism bound so fast cells do not leave workers idle while slow ones
+// finish. Cells are normalized up front; the first invalid cell aborts the
+// sweep before any trial runs.
+func (e *Engine) Sweep(cells []Cell) ([]CellResult, error) {
+	norm := make([]Scenario, len(cells))
+	for i, c := range cells {
+		s, err := c.Scenario.Normalize()
+		if err != nil {
+			return nil, fmt.Errorf("cell %s|%s: %w", c.Series, c.X, err)
+		}
+		norm[i] = s
+	}
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ cell, trial int }
+	var jobs []job
+	perCell := make([][]*sim.Result, len(cells))
+	for i, s := range norm {
+		perCell[i] = make([]*sim.Result, s.Run.Trials)
+		for t := 0; t < s.Run.Trials; t++ {
+			jobs = append(jobs, job{cell: i, trial: t})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for j, jb := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int, jb job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perCell[jb.cell][jb.trial], errs[j] = e.runTrial(norm[jb.cell], jb.trial)
+		}(j, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]CellResult, len(cells))
+	for i, c := range cells {
+		out[i] = CellResult{Series: c.Series, X: c.X, Outcome: summarize(norm[i], perCell[i])}
+	}
+	return out, nil
+}
+
+// runTrial executes one trial of a normalized scenario.
+func (e *Engine) runTrial(s Scenario, trial int) (*sim.Result, error) {
+	matrix := e.matrix(s)
+	wcfg, err := s.workloadConfig(trial)
+	if err != nil {
+		return nil, err
+	}
+	tasks := workload.Generate(matrix, wcfg)
+
+	// Fresh heuristic instance per trial: some heuristics carry cursors.
+	h, imm, err := sched.ByName(s.Platform.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := s.mode()
+	if err != nil {
+		return nil, err
+	}
+	if imm != (mode == sim.ImmediateMode) {
+		return nil, fmt.Errorf("scenario %q: heuristic %s requires %s mode",
+			s.Name, s.Platform.Heuristic, map[bool]string{true: "immediate", false: "batch"}[imm])
+	}
+	prune, err := s.coreConfig(matrix.NumTaskTypes())
+	if err != nil {
+		return nil, err
+	}
+	slots := s.Platform.Slots
+	if slots == 0 {
+		slots = sim.DefaultSlots
+	}
+	exclude := *s.Run.ExcludeBoundary
+	if len(tasks) <= 2*exclude+1 {
+		exclude = len(tasks) / 4
+	}
+	return sim.Run(matrix, tasks, sim.Config{
+		Mode:            mode,
+		Heuristic:       h,
+		MachineTypes:    machineTypes(s, matrix),
+		Slots:           slots,
+		Prune:           prune,
+		Seed:            s.Run.Seed ^ 0xabcd,
+		ExcludeBoundary: exclude,
+	})
+}
+
+// summarize folds per-trial results into an Outcome.
+func summarize(s Scenario, results []*sim.Result) *Outcome {
+	rob := make([]float64, len(results))
+	wrob := make([]float64, len(results))
+	for i, r := range results {
+		rob[i] = r.Robustness
+		wrob[i] = r.WeightedRobustness
+	}
+	return &Outcome{
+		Scenario:           s,
+		Robustness:         stats.Summarize(rob),
+		WeightedRobustness: stats.Summarize(wrob),
+		Results:            results,
+	}
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarios is the golden test over the scenario library: every
+// examples/scenarios/*.json file must parse, normalize and run at tiny
+// scale, producing a sane robustness summary.
+func TestShippedScenarios(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("expected at least 8 shipped scenarios, found %d: %v", len(paths), paths)
+	}
+	eng := NewEngine(4)
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name == "" || s.Description == "" {
+				t.Error("shipped scenarios must carry a name and a description")
+			}
+			// Shrink to test scale: 2 trials, ~6% workload size.
+			s.Run.Trials = 2
+			s.Run.Scale = 0.06
+			out, err := eng.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Results) != 2 {
+				t.Fatalf("expected 2 trial results, got %d", len(out.Results))
+			}
+			if m := out.Robustness.Mean; m < 0 || m > 100 {
+				t.Errorf("robustness %v out of [0, 100]", m)
+			}
+			for _, r := range out.Results {
+				if r.Counted <= 0 {
+					t.Errorf("trial counted no tasks: %+v", r)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,515 @@
+// Package scenario turns everything a prunesim experiment hard-codes — the
+// workload shape, the platform under test, the pruning configuration and the
+// trial settings — into one declarative, JSON-encodable Scenario value, plus
+// an Engine that resolves scenarios and runs their trials on a bounded
+// worker pool.
+//
+// A Scenario is the unit every front end shares: `cmd/hcsim --scenario
+// file.json` runs one, `internal/experiments` expresses each paper figure as
+// a set of them (one Cell per bar or curve point), and future subsystems
+// (sharding, result caching, alternative backends) plug in at the same seam.
+// The full field/default/unit reference lives in DESIGN.md; ready-made
+// scenario files ship under examples/scenarios/.
+//
+// The zero-value ambiguity of JSON is handled with a small number of pointer
+// fields: settings whose zero value is meaningful and different from the
+// paper default (pruning threshold 0, fairness 0, deferring off, boundary
+// exclusion 0) are pointers, so "omitted" and "explicitly zero" stay
+// distinguishable. Everything else defaults on Normalize.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"prunesim/internal/core"
+	"prunesim/internal/sched"
+	"prunesim/internal/sim"
+	"prunesim/internal/workload"
+)
+
+// Platform profile names accepted by Platform.Profile.
+const (
+	// ProfileStandard is the paper's inconsistently heterogeneous
+	// 12-benchmark x 8-machine PET matrix.
+	ProfileStandard = "standard"
+	// ProfileHomogeneous is the single-machine-type matrix of the paper's
+	// homogeneous-system experiments.
+	ProfileHomogeneous = "homogeneous"
+)
+
+// Scenario is one fully described simulation study: a workload shape, a
+// platform (machines + scheduling policy), a pruning configuration and the
+// trial/seed/parallelism settings. It is the declarative unit the sweep
+// engine, the CLIs and the figure drivers all consume.
+type Scenario struct {
+	// Name identifies the scenario in output and result files.
+	Name string `json:"name"`
+	// Description is free-form documentation shown by the CLIs.
+	Description string `json:"description,omitempty"`
+	// Workload names the task stream to generate.
+	Workload Workload `json:"workload"`
+	// Platform names the system under test.
+	Platform Platform `json:"platform"`
+	// Prune configures the probabilistic pruning mechanism.
+	Prune Prune `json:"prune"`
+	// Run holds trial, seed, scale and parallelism settings.
+	Run Run `json:"run"`
+}
+
+// Workload declares the synthetic task stream of a scenario (see
+// internal/workload for the generation recipe).
+type Workload struct {
+	// Pattern is the arrival profile: "spiky" (paper default) or
+	// "constant". Empty selects "spiky".
+	Pattern string `json:"pattern,omitempty"`
+	// Tasks is the expected task count across all types — the paper's
+	// oversubscription knob (15000, 20000, 25000). Required.
+	Tasks int `json:"tasks"`
+	// TimeSpan is the workload duration in simulation time units
+	// (default 3000, the paper's span).
+	TimeSpan float64 `json:"time_span,omitempty"`
+	// Spikes is the number of spike periods across the span (spiky
+	// pattern only; default 8).
+	Spikes int `json:"spikes,omitempty"`
+	// SpikeFactor multiplies the base arrival rate during spikes
+	// (default 3, the paper's burst height).
+	SpikeFactor float64 `json:"spike_factor,omitempty"`
+	// IATVarianceFrac is the Gamma inter-arrival variance as a fraction
+	// of the mean (default 0.10).
+	IATVarianceFrac float64 `json:"iat_variance_frac,omitempty"`
+	// BetaLo and BetaHi bound the per-task uniform deadline-slack
+	// multiplier of Eq. 4. Both zero selects the paper's [0.8, 2.5].
+	BetaLo float64 `json:"beta_lo,omitempty"`
+	BetaHi float64 `json:"beta_hi,omitempty"`
+	// ValueLo and ValueHi bound the per-task uniform value draw for the
+	// value-aware extension (mixed SLA classes). Both zero means every
+	// task has unit value.
+	ValueLo float64 `json:"value_lo,omitempty"`
+	ValueHi float64 `json:"value_hi,omitempty"`
+}
+
+// Platform declares the system under test: its heterogeneity profile,
+// cluster size, allocation mode and mapping heuristic.
+type Platform struct {
+	// Profile selects the PET matrix: "standard" (default) or
+	// "homogeneous".
+	Profile string `json:"profile,omitempty"`
+	// Machines is the cluster size (default 8, the paper's testbed). On
+	// the standard profile, machines beyond the eight matrix columns
+	// cycle through the machine types round-robin.
+	Machines int `json:"machines,omitempty"`
+	// Mode is the allocation style: "batch" or "immediate". Empty infers
+	// the mode from the heuristic.
+	Mode string `json:"mode,omitempty"`
+	// Heuristic is a mapping-heuristic name from sched.Names() (default
+	// "MM").
+	Heuristic string `json:"heuristic,omitempty"`
+	// Slots caps pending tasks per machine queue in batch mode
+	// (default 2).
+	Slots int `json:"slots,omitempty"`
+	// PET overrides PET-matrix generation parameters (heavy-tail
+	// profiles, custom bin widths). Nil keeps the paper's parameters.
+	PET *PETParams `json:"pet,omitempty"`
+}
+
+// PETParams overrides PET PMF generation (see pet.Params). Zero-valued
+// fields keep the paper defaults.
+type PETParams struct {
+	// BinWidth is the PMF bin width in time units (default 0.5).
+	BinWidth float64 `json:"bin_width,omitempty"`
+	// Samples is the number of Gamma draws histogrammed per matrix cell
+	// (default 500).
+	Samples int `json:"samples,omitempty"`
+	// ShapeLo and ShapeHi bound the uniform Gamma-shape draw (default
+	// [1, 20]). Low shapes mean heavy-tailed execution times.
+	ShapeLo float64 `json:"shape_lo,omitempty"`
+	ShapeHi float64 `json:"shape_hi,omitempty"`
+	// Seed pins matrix generation (default the paper matrix seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Prune declares the pruning-mechanism configuration. Pointer fields
+// distinguish "omitted — use the paper default" from "explicitly zero".
+type Prune struct {
+	// Enabled is the master switch; false gives the unpruned baseline.
+	Enabled bool `json:"enabled"`
+	// Threshold is the pruning threshold in [0, 1] (default 0.5): tasks
+	// whose chance of success is at or below it are pruned.
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Defer enables the deferring operation (default true; batch mode
+	// only).
+	Defer *bool `json:"defer,omitempty"`
+	// Toggle selects when proactive dropping engages: "never", "always"
+	// or "reactive" (default).
+	Toggle string `json:"toggle,omitempty"`
+	// DropAlpha is the reactive Toggle's miss threshold (default 1).
+	DropAlpha int `json:"drop_alpha,omitempty"`
+	// Fairness is the per-type sufferage adjustment constant c
+	// (default 0.05; 0 disables fairness).
+	Fairness *float64 `json:"fairness,omitempty"`
+	// ValueAware scales each task's threshold by ValueRef/value (the
+	// Section VII cost-aware extension).
+	ValueAware bool `json:"value_aware,omitempty"`
+	// ValueRef is the reference task value the scaling centres on
+	// (default 1 when ValueAware).
+	ValueRef float64 `json:"value_ref,omitempty"`
+}
+
+// Run holds the trial/seed/parallelism settings of a scenario.
+type Run struct {
+	// Trials is the number of independent workload trials (default 30,
+	// the paper's count).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the base seed for workload generation; execution-time
+	// sampling derives from it. A (Seed, trial) pair pins a trial
+	// exactly. Default 0x5eed2019.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale uniformly shrinks task counts and the time span, preserving
+	// the oversubscription level (default 1 = paper size; accepted range
+	// [0.01, 10]).
+	Scale float64 `json:"scale,omitempty"`
+	// Parallelism bounds concurrent trials (default GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// ExcludeBoundary drops the first and last N tasks from statistics
+	// to measure the oversubscribed steady state (default 100, clamped
+	// for tiny workloads).
+	ExcludeBoundary *int `json:"exclude_boundary,omitempty"`
+}
+
+// Default returns a ready-to-run Scenario with every field at the paper's
+// defaults: a spiky 15K-task workload on the standard 8-machine platform
+// under Min-Min with full pruning.
+func Default() Scenario {
+	return Scenario{
+		Name:     "default",
+		Workload: Workload{Pattern: "spiky", Tasks: 15000},
+		Platform: Platform{Profile: ProfileStandard, Heuristic: "MM"},
+		Prune:    Prune{Enabled: true},
+	}
+}
+
+// FromCore converts a core pruning configuration into its declarative form.
+// It is the bridge the figure drivers use: sweeps keep building core.Config
+// values and express each configuration point as a Scenario.
+func FromCore(c core.Config) Prune {
+	p := Prune{
+		Enabled:    c.Enabled,
+		ValueAware: c.ValueAware,
+		ValueRef:   c.ValueRef,
+		DropAlpha:  c.DropAlpha,
+	}
+	th, fair, def := c.Threshold, c.FairnessFactor, c.DeferEnabled
+	p.Threshold, p.Fairness, p.Defer = &th, &fair, &def
+	switch c.DropMode {
+	case core.ToggleNever:
+		p.Toggle = "never"
+	case core.ToggleAlways:
+		p.Toggle = "always"
+	case core.ToggleReactive:
+		p.Toggle = "reactive"
+	}
+	return p
+}
+
+// Load reads, parses and normalizes one scenario file. Unknown JSON fields
+// are errors, so typos in hand-written files surface immediately.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := decode(data)
+	if err == nil {
+		if s.Name == "" {
+			s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		s, err = s.Normalize()
+	}
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and normalizes a JSON scenario document.
+func Parse(data []byte) (Scenario, error) {
+	s, err := decode(data)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return s.Normalize()
+}
+
+// decode unmarshals a scenario document, rejecting unknown fields.
+func decode(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Normalize fills paper defaults into omitted fields and validates the
+// result. It returns the completed copy; the receiver is unchanged.
+func (s Scenario) Normalize() (Scenario, error) {
+	// Workload defaults (internal/workload.DefaultConfig's values).
+	w := &s.Workload
+	if w.Pattern == "" {
+		w.Pattern = "spiky"
+	}
+	if w.TimeSpan == 0 {
+		w.TimeSpan = 3000
+	}
+	if w.Spikes == 0 {
+		w.Spikes = 8
+	}
+	if w.SpikeFactor == 0 {
+		w.SpikeFactor = 3
+	}
+	if w.IATVarianceFrac == 0 {
+		w.IATVarianceFrac = 0.10
+	}
+	if w.BetaLo == 0 && w.BetaHi == 0 {
+		w.BetaLo, w.BetaHi = 0.8, 2.5
+	}
+
+	// Platform defaults.
+	p := &s.Platform
+	if p.Profile == "" {
+		p.Profile = ProfileStandard
+	}
+	if p.Machines == 0 {
+		p.Machines = 8
+	}
+	if p.Heuristic == "" {
+		p.Heuristic = "MM"
+	}
+
+	// Prune defaults (core.DefaultConfig's values).
+	pr := &s.Prune
+	if pr.Threshold == nil {
+		th := 0.5
+		pr.Threshold = &th
+	}
+	if pr.Defer == nil {
+		def := true
+		pr.Defer = &def
+	}
+	if pr.Toggle == "" {
+		pr.Toggle = "reactive"
+	}
+	if pr.DropAlpha == 0 {
+		pr.DropAlpha = 1
+	}
+	if pr.Fairness == nil {
+		fair := 0.05
+		pr.Fairness = &fair
+	}
+	if pr.ValueAware && pr.ValueRef == 0 {
+		pr.ValueRef = 1
+	}
+
+	// Run defaults.
+	r := &s.Run
+	if r.Trials == 0 {
+		r.Trials = 30
+	}
+	if r.Seed == 0 {
+		r.Seed = 0x5eed2019
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if r.Parallelism == 0 {
+		r.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if r.ExcludeBoundary == nil {
+		ex := 100
+		r.ExcludeBoundary = &ex
+	}
+
+	return s, s.validate()
+}
+
+// validate checks a defaulted scenario for self-consistency.
+func (s Scenario) validate() error {
+	w, p, pr, r := s.Workload, s.Platform, s.Prune, s.Run
+	if _, err := w.pattern(); err != nil {
+		return err
+	}
+	switch {
+	case w.Tasks <= 0:
+		return fmt.Errorf("scenario %q: workload.tasks must be positive, got %d", s.Name, w.Tasks)
+	case w.TimeSpan <= 0:
+		return fmt.Errorf("scenario %q: workload.time_span must be positive, got %v", s.Name, w.TimeSpan)
+	case w.Pattern == "spiky" && (w.Spikes <= 0 || w.SpikeFactor <= 1):
+		return fmt.Errorf("scenario %q: spiky arrivals need spikes > 0 and spike_factor > 1, got %d, %v",
+			s.Name, w.Spikes, w.SpikeFactor)
+	case w.IATVarianceFrac <= 0:
+		return fmt.Errorf("scenario %q: workload.iat_variance_frac must be positive, got %v", s.Name, w.IATVarianceFrac)
+	case w.BetaHi < w.BetaLo || w.BetaLo < 0:
+		return fmt.Errorf("scenario %q: workload beta bounds need 0 <= beta_lo <= beta_hi, got [%v, %v]",
+			s.Name, w.BetaLo, w.BetaHi)
+	case w.ValueHi != 0 && (w.ValueLo <= 0 || w.ValueHi < w.ValueLo):
+		return fmt.Errorf("scenario %q: task values need 0 < value_lo <= value_hi, got [%v, %v]",
+			s.Name, w.ValueLo, w.ValueHi)
+	}
+
+	if p.Profile != ProfileStandard && p.Profile != ProfileHomogeneous {
+		return fmt.Errorf("scenario %q: unknown platform.profile %q (want %q or %q)",
+			s.Name, p.Profile, ProfileStandard, ProfileHomogeneous)
+	}
+	if p.Machines <= 0 {
+		return fmt.Errorf("scenario %q: platform.machines must be positive, got %d", s.Name, p.Machines)
+	}
+	if p.Slots < 0 {
+		return fmt.Errorf("scenario %q: platform.slots must be non-negative, got %d", s.Name, p.Slots)
+	}
+	if pet := p.PET; pet != nil {
+		if pet.BinWidth < 0 || pet.Samples < 0 || pet.ShapeLo < 0 || pet.ShapeHi < pet.ShapeLo {
+			return fmt.Errorf("scenario %q: invalid platform.pet overrides %+v", s.Name, *pet)
+		}
+	}
+	_, imm, err := sched.ByName(p.Heuristic)
+	if err != nil {
+		return fmt.Errorf("scenario %q: unknown platform.heuristic %q (have %v)", s.Name, p.Heuristic, sched.Names())
+	}
+	switch p.Mode {
+	case "":
+		// Inferred from the heuristic in mode().
+	case "batch":
+		if imm {
+			return fmt.Errorf("scenario %q: heuristic %q is immediate-mode but platform.mode is \"batch\"", s.Name, p.Heuristic)
+		}
+	case "immediate":
+		if !imm {
+			return fmt.Errorf("scenario %q: heuristic %q is batch-mode but platform.mode is \"immediate\"", s.Name, p.Heuristic)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown platform.mode %q (want \"batch\" or \"immediate\")", s.Name, p.Mode)
+	}
+
+	if _, err := pr.toggleMode(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if th := *pr.Threshold; th < 0 || th > 1 {
+		return fmt.Errorf("scenario %q: prune.threshold must be in [0, 1], got %v", s.Name, th)
+	}
+	if *pr.Fairness < 0 {
+		return fmt.Errorf("scenario %q: prune.fairness must be non-negative, got %v", s.Name, *pr.Fairness)
+	}
+	if pr.DropAlpha < 1 {
+		return fmt.Errorf("scenario %q: prune.drop_alpha must be >= 1, got %d", s.Name, pr.DropAlpha)
+	}
+
+	switch {
+	case r.Trials < 1:
+		return fmt.Errorf("scenario %q: run.trials must be >= 1, got %d", s.Name, r.Trials)
+	case r.Scale < 0.01 || r.Scale > 10:
+		return fmt.Errorf("scenario %q: run.scale %v out of [0.01, 10]", s.Name, r.Scale)
+	case r.Parallelism < 1:
+		return fmt.Errorf("scenario %q: run.parallelism must be >= 1, got %d", s.Name, r.Parallelism)
+	case *r.ExcludeBoundary < 0:
+		return fmt.Errorf("scenario %q: run.exclude_boundary must be non-negative, got %d", s.Name, *r.ExcludeBoundary)
+	}
+	return nil
+}
+
+// pattern resolves the workload pattern name.
+func (w Workload) pattern() (workload.Pattern, error) {
+	switch w.Pattern {
+	case "spiky":
+		return workload.Spiky, nil
+	case "constant":
+		return workload.Constant, nil
+	default:
+		return 0, fmt.Errorf("unknown workload.pattern %q (want \"spiky\" or \"constant\")", w.Pattern)
+	}
+}
+
+// toggleMode resolves the dropping-toggle name.
+func (p Prune) toggleMode() (core.ToggleMode, error) {
+	switch p.Toggle {
+	case "never":
+		return core.ToggleNever, nil
+	case "always":
+		return core.ToggleAlways, nil
+	case "reactive":
+		return core.ToggleReactive, nil
+	default:
+		return 0, fmt.Errorf("unknown prune.toggle %q (want \"never\", \"always\" or \"reactive\")", p.Toggle)
+	}
+}
+
+// mode resolves the allocation mode, inferring it from the heuristic when
+// unset. The scenario must already be normalized.
+func (s Scenario) mode() (sim.Mode, error) {
+	switch s.Platform.Mode {
+	case "batch":
+		return sim.BatchMode, nil
+	case "immediate":
+		return sim.ImmediateMode, nil
+	}
+	_, imm, err := sched.ByName(s.Platform.Heuristic)
+	if err != nil {
+		return 0, err
+	}
+	if imm {
+		return sim.ImmediateMode, nil
+	}
+	return sim.BatchMode, nil
+}
+
+// coreConfig materializes the pruning configuration for the given number of
+// task types. The scenario must already be normalized.
+func (s Scenario) coreConfig(numTaskTypes int) (core.Config, error) {
+	mode, err := s.Prune.toggleMode()
+	if err != nil {
+		return core.Config{}, err
+	}
+	if !s.Prune.Enabled {
+		return core.Disabled(numTaskTypes), nil
+	}
+	return core.Config{
+		Enabled:        true,
+		Threshold:      *s.Prune.Threshold,
+		DeferEnabled:   *s.Prune.Defer,
+		DropMode:       mode,
+		DropAlpha:      s.Prune.DropAlpha,
+		FairnessFactor: *s.Prune.Fairness,
+		ValueAware:     s.Prune.ValueAware,
+		ValueRef:       s.Prune.ValueRef,
+		NumTaskTypes:   numTaskTypes,
+	}, nil
+}
+
+// workloadConfig materializes the workload generator configuration for one
+// trial, with Run.Scale applied. The scenario must already be normalized.
+func (s Scenario) workloadConfig(trial int) (workload.Config, error) {
+	pat, err := s.Workload.pattern()
+	if err != nil {
+		return workload.Config{}, err
+	}
+	return workload.Config{
+		Pattern:         pat,
+		NumTasks:        int(float64(s.Workload.Tasks) * s.Run.Scale),
+		TimeSpan:        s.Workload.TimeSpan * s.Run.Scale,
+		NumSpikes:       s.Workload.Spikes,
+		SpikeFactor:     s.Workload.SpikeFactor,
+		IATVarianceFrac: s.Workload.IATVarianceFrac,
+		BetaLo:          s.Workload.BetaLo,
+		BetaHi:          s.Workload.BetaHi,
+		ValueLo:         s.Workload.ValueLo,
+		ValueHi:         s.Workload.ValueHi,
+		Seed:            s.Run.Seed,
+		Trial:           trial,
+	}, nil
+}

@@ -38,6 +38,7 @@ import (
 	"prunesim/internal/experiments"
 	"prunesim/internal/pet"
 	"prunesim/internal/pmf"
+	"prunesim/internal/scenario"
 	"prunesim/internal/sim"
 	"prunesim/internal/stats"
 	"prunesim/internal/task"
@@ -260,6 +261,45 @@ func ValueAwarePruning(numTaskTypes int, valueRef float64) PruningConfig {
 	cfg.ValueAware = true
 	cfg.ValueRef = valueRef
 	return cfg
+}
+
+// Scenarios (see internal/scenario): the declarative front end. A Scenario
+// is a JSON-encodable description of one simulation study — workload shape,
+// platform, pruning configuration and trial settings — and the unit the
+// sweep engine, the CLIs and the figure drivers all consume.
+type (
+	// Scenario declares one simulation study end to end.
+	Scenario = scenario.Scenario
+	// ScenarioCell is one configuration point of a sweep, tagged with its
+	// (series, x) position in a figure.
+	ScenarioCell = scenario.Cell
+	// ScenarioOutcome is the result of running one scenario.
+	ScenarioOutcome = scenario.Outcome
+	// ScenarioEngine resolves and runs scenarios on a bounded worker pool,
+	// caching generated PET matrices across cells.
+	ScenarioEngine = scenario.Engine
+)
+
+// DefaultScenario returns a ready-to-run scenario at the paper's defaults:
+// a spiky 15K-task workload on the standard 8-machine platform under
+// Min-Min with full pruning.
+func DefaultScenario() Scenario { return scenario.Default() }
+
+// LoadScenario reads, parses and normalizes one scenario JSON file. Unknown
+// fields are errors, so typos in hand-written files surface immediately.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and normalizes a JSON scenario document.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// NewScenarioEngine returns a scenario engine with the given trial
+// parallelism bound (0 = GOMAXPROCS).
+func NewScenarioEngine(parallelism int) *ScenarioEngine { return scenario.NewEngine(parallelism) }
+
+// RunScenario normalizes and executes one scenario on a fresh engine,
+// running its trials concurrently.
+func RunScenario(s Scenario) (*ScenarioOutcome, error) {
+	return scenario.NewEngine(0).Run(s)
 }
 
 // Calibration (see internal/calibration).
