@@ -16,14 +16,15 @@ package main
 
 import (
 	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"prunesim"
+	"prunesim/internal/cli"
 	"prunesim/internal/experiments"
 )
 
@@ -70,7 +71,8 @@ func main() {
 	}
 	var csvW *csv.Writer
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		// "-" streams to stdout; parent directories are created on demand.
+		f, err := cli.Create(*csvPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,9 +83,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	var mdW *os.File
+	var mdW io.Writer
 	if *mdPath != "" {
-		f, err := os.Create(*mdPath)
+		f, err := cli.Create(*mdPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -159,14 +161,13 @@ func runScenarios(paths []string, o overrides) {
 		outcomes = append(outcomes, outcome)
 	}
 	if o.out != "" {
-		data, err := json.MarshalIndent(outcomes, "", "  ")
-		if err != nil {
+		// "-" streams to stdout; parent directories are created on demand.
+		if err := cli.WriteJSON(o.out, outcomes); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(o.out, data, 0o644); err != nil {
-			fatal(err)
+		if o.out != "-" {
+			fmt.Printf("wrote %s\n", o.out)
 		}
-		fmt.Printf("wrote %s\n", o.out)
 	}
 }
 

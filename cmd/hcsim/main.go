@@ -8,6 +8,7 @@
 //	hcsim --scenario examples/scenarios/paper_fig9b_mm_pruned.json
 //	hcsim --scenario examples/scenarios/bursty_arrivals.json --trials 5 --scale 0.2
 //	hcsim --scenario examples/scenarios/mixed_sla_classes.json --out outcome.json
+//	hcsim --scenario examples/scenarios/service_smoke.json --out - | jq .robustness
 //
 // Individual flags assemble a single ad-hoc trial instead:
 //
@@ -17,12 +18,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"prunesim"
+	"prunesim/internal/cli"
 )
 
 func main() {
@@ -208,14 +209,13 @@ func runScenario(path string, o overrides) {
 		printEnergy(outcome.Results[0], sc.Platform.Machines)
 	}
 	if o.out != "" {
-		data, err := json.MarshalIndent(outcome, "", "  ")
-		if err != nil {
+		// "-" streams to stdout; parent directories are created on demand.
+		if err := cli.WriteJSON(o.out, outcome); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(o.out, data, 0o644); err != nil {
-			fatal(err)
+		if o.out != "-" {
+			fmt.Printf("wrote %s\n", o.out)
 		}
-		fmt.Printf("wrote %s\n", o.out)
 	}
 }
 

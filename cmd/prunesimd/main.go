@@ -1,0 +1,113 @@
+// Command prunesimd is the prunesim serving daemon: an HTTP/JSON service
+// that accepts scenario submissions, runs them asynchronously through the
+// shared sweep engine on a bounded queue + worker pool, caches outcomes by
+// canonical scenario content hash, and streams live per-trial progress.
+//
+//	prunesimd                          # listen on :8080
+//	prunesimd -addr :9000 -workers 4   # bounded worker pool
+//	prunesimd -scenarios ./my-lib      # extra scenario files on top of the
+//	                                   # embedded examples/scenarios library
+//
+// Endpoints (see DESIGN.md and README.md for curl examples):
+//
+//	POST /v1/jobs                 submit {"scenario": {...}} or {"name": "..."}
+//	GET  /v1/jobs                 list jobs
+//	GET  /v1/jobs/{id}            status + outcome
+//	GET  /v1/jobs/{id}/events     SSE per-trial progress
+//	GET  /v1/jobs/{id}/trials.csv per-trial CSV artifact
+//	GET  /v1/scenarios            the scenario library
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	scenarios "prunesim/examples/scenarios"
+	"prunesim/internal/cli"
+	"prunesim/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent trials per job (0 = per-scenario setting)")
+		extraDir    = flag.String("scenarios", "", "directory of extra scenario *.json files to add to the library")
+	)
+	flag.Parse()
+
+	library, err := scenarios.Library()
+	if err != nil {
+		fatal(err)
+	}
+	if *extraDir != "" {
+		extra, err := cli.LoadScenarioDir(*extraDir)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded %d extra scenarios from %s", len(extra), *extraDir)
+		library = append(library, extra...)
+	}
+
+	srv := service.New(service.Config{
+		QueueCapacity: *queue,
+		Workers:       *workers,
+		Parallelism:   *parallelism,
+		Library:       library,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
+	// in-flight jobs finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("prunesimd listening on %s (%d library scenarios, queue %d, workers %d)",
+		*addr, len(library), *queue, *workers)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		log.Printf("shutting down: draining in-flight jobs")
+		// Close the service first: it stops intake (new submissions get
+		// 503), releases SSE streams and drains the workers — so the HTTP
+		// shutdown below returns as soon as work is done instead of
+		// waiting out its timeout behind a connected events subscriber.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prunesimd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Package scenarios embeds the shipped example scenario library so the
+// prunesimd daemon (and any other consumer) can list and run every
+// examples/scenarios/*.json file by name without a filesystem checkout.
+package scenarios
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+
+	"prunesim/internal/scenario"
+)
+
+//go:embed *.json
+var files embed.FS
+
+// Library parses and normalizes every embedded scenario file and returns
+// the scenarios sorted by name. The embedded library ships only valid
+// files, so an error here means a scenario was added without running the
+// golden test.
+func Library() ([]scenario.Scenario, error) {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: %w", err)
+	}
+	out := make([]scenario.Scenario, 0, len(entries))
+	for _, e := range entries {
+		data, err := files.ReadFile(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: %s: %w", e.Name(), err)
+		}
+		s, err := scenario.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: %s: %w", e.Name(), err)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

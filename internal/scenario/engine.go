@@ -125,9 +125,30 @@ func machineTypes(s Scenario, m *pet.Matrix) []int {
 	return types
 }
 
+// TrialProgress reports one finished trial during RunWithProgress. Done
+// counts trials finished so far (including this one), so Done == Total
+// marks the last report of a run.
+type TrialProgress struct {
+	// Trial is the index of the trial that just finished.
+	Trial int `json:"trial"`
+	// Done and Total count finished and scheduled trials.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Robustness is the finished trial's robustness (% on time).
+	Robustness float64 `json:"robustness"`
+}
+
 // Run normalizes and executes one scenario, running its trials on a bounded
 // worker pool.
 func (e *Engine) Run(s Scenario) (*Outcome, error) {
+	return e.RunWithProgress(s, nil)
+}
+
+// RunWithProgress is Run with a live per-trial progress callback: onTrial,
+// when non-nil, is invoked once per finished trial. Calls are serialized
+// (never concurrent) and made from worker goroutines, so the callback must
+// not block for long; it must not call back into the Engine.
+func (e *Engine) RunWithProgress(s Scenario, onTrial func(TrialProgress)) (*Outcome, error) {
 	s, err := s.Normalize()
 	if err != nil {
 		return nil, err
@@ -140,6 +161,8 @@ func (e *Engine) Run(s Scenario) (*Outcome, error) {
 	errs := make([]error, s.Run.Trials)
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
 	for trial := 0; trial < s.Run.Trials; trial++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -147,6 +170,17 @@ func (e *Engine) Run(s Scenario) (*Outcome, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			results[trial], errs[trial] = e.runTrial(s, trial)
+			if onTrial != nil && errs[trial] == nil {
+				progressMu.Lock()
+				done++
+				onTrial(TrialProgress{
+					Trial:      trial,
+					Done:       done,
+					Total:      s.Run.Trials,
+					Robustness: results[trial].Robustness,
+				})
+				progressMu.Unlock()
+			}
 		}(trial)
 	}
 	wg.Wait()

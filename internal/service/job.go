@@ -1,0 +1,217 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"prunesim/internal/scenario"
+	"prunesim/internal/stats"
+)
+
+// State is a job's position in its lifecycle. Transitions are strictly
+// forward: queued → running → done|failed, with cache hits born done.
+type State string
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the scenario's trials.
+	StateRunning State = "running"
+	// StateDone: finished with an outcome (possibly straight from cache).
+	StateDone State = "done"
+	// StateFailed: the engine returned an error.
+	StateFailed State = "failed"
+)
+
+// Event is one entry of a job's progress stream, delivered over SSE as the
+// `data:` payload (the SSE `event:` field carries Type). Every event the
+// job ever emitted is retained, so late subscribers replay the full
+// history before going live.
+type Event struct {
+	// Type is "queued", "running", "progress", "done" or "failed".
+	Type string `json:"type"`
+	// JobID names the emitting job.
+	JobID string `json:"job_id"`
+	// Trial carries per-trial progress (Type "progress" only).
+	Trial *scenario.TrialProgress `json:"trial,omitempty"`
+	// Robustness summarizes the outcome (Type "done" only).
+	Robustness *stats.Summary `json:"robustness,omitempty"`
+	// CacheHit marks a "done" event answered from the result store.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error carries the failure message (Type "failed" only).
+	Error string `json:"error,omitempty"`
+}
+
+// subBuffer is the per-subscriber event channel capacity. A subscriber
+// that falls further behind than this has events dropped (never blocking
+// the worker); the authoritative record stays in the job's history and in
+// GET /v1/jobs/{id}.
+const subBuffer = 1024
+
+// Job tracks one submitted scenario through the queue, the worker pool and
+// into the result store. All mutable state sits behind mu; Events and
+// subscriber fan-out share it so history replay never misses or duplicates
+// an event.
+type Job struct {
+	// Immutable after creation.
+	id       string
+	hash     string
+	scenario scenario.Scenario // normalized
+	created  time.Time
+
+	mu       sync.Mutex
+	state    State
+	cacheHit bool
+	errMsg   string
+	outcome  *scenario.Outcome
+	started  time.Time
+	finished time.Time
+	history  []Event
+	subs     map[chan Event]struct{}
+}
+
+// newJob returns a queued job for a normalized scenario.
+func newJob(id, hash string, s scenario.Scenario) *Job {
+	j := &Job{
+		id:       id,
+		hash:     hash,
+		scenario: s,
+		created:  time.Now(),
+		state:    StateQueued,
+		subs:     make(map[chan Event]struct{}),
+	}
+	j.publish(Event{Type: "queued"})
+	return j
+}
+
+// publish appends an event to the history and fans it out to live
+// subscribers. Slow subscribers (full buffer) miss the event rather than
+// blocking the caller.
+func (j *Job) publish(ev Event) {
+	ev.JobID = j.id
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.history = append(j.history, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Type == "done" || ev.Type == "failed" {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+}
+
+// subscribe atomically snapshots the event history and registers a live
+// channel, so the caller sees every event exactly once (modulo slow-reader
+// drops). The channel is nil when the job is already terminal — the
+// history is complete. cancel is idempotent and must be called when the
+// (non-nil) channel is abandoned before the job finishes.
+func (j *Job) subscribe() (history []Event, ch chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]Event(nil), j.history...)
+	if j.subs == nil { // terminal: history already ends in done/failed
+		return history, nil, func() {}
+	}
+	ch = make(chan Event, subBuffer)
+	j.subs[ch] = struct{}{}
+	return history, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// setRunning transitions queued → running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.publish(Event{Type: "running"})
+}
+
+// complete transitions to done with an outcome; fromCache marks a result
+// served by the store without an engine run.
+func (j *Job) complete(o *scenario.Outcome, fromCache bool) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.outcome = o
+	j.cacheHit = fromCache
+	j.finished = time.Now()
+	rob := o.Robustness
+	j.mu.Unlock()
+	j.publish(Event{Type: "done", Robustness: &rob, CacheHit: fromCache})
+}
+
+// fail transitions to failed.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.publish(Event{Type: "failed", Error: err.Error()})
+}
+
+// Status is the JSON view of a job returned by POST /v1/jobs and
+// GET /v1/jobs/{id}. Outcome is populated only on done jobs.
+type Status struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Scenario string    `json:"scenario"`
+	Hash     string    `json:"hash"`
+	CacheHit bool      `json:"cache_hit"`
+	Created  time.Time `json:"created"`
+	// Started and Finished are omitted until the job reaches those states.
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// TrialsDone / TrialsTotal report live progress.
+	TrialsDone  int               `json:"trials_done"`
+	TrialsTotal int               `json:"trials_total"`
+	Error       string            `json:"error,omitempty"`
+	Outcome     *scenario.Outcome `json:"outcome,omitempty"`
+}
+
+// status snapshots the job.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Scenario:    j.scenario.Name,
+		Hash:        j.hash,
+		CacheHit:    j.cacheHit,
+		Created:     j.created,
+		TrialsTotal: j.scenario.Run.Trials,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	for _, ev := range j.history {
+		if ev.Type == "progress" {
+			st.TrialsDone++
+		}
+	}
+	if j.state == StateDone {
+		st.TrialsDone = st.TrialsTotal
+		st.Outcome = j.outcome
+	}
+	return st
+}

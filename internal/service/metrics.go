@@ -1,0 +1,110 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the service's operational counters. All fields are
+// atomics, so the hot paths (submit, worker loop, per-trial progress) never
+// contend on a lock. Rendered two ways: Prometheus text exposition on
+// GET /metrics and an expvar JSON object (Metrics implements expvar.Var).
+type Metrics struct {
+	start time.Time
+
+	// JobsSubmitted counts accepted submissions, including cache hits.
+	JobsSubmitted atomic.Int64
+	// JobsRejected counts submissions bounced with 429 by queue backpressure.
+	JobsRejected atomic.Int64
+	// JobsQueued and JobsRunning are gauges of the current pipeline.
+	JobsQueued  atomic.Int64
+	JobsRunning atomic.Int64
+	// JobsDone and JobsFailed count terminal jobs (cache hits count as done).
+	JobsDone   atomic.Int64
+	JobsFailed atomic.Int64
+	// CacheHits counts submissions answered from the result store.
+	CacheHits atomic.Int64
+	// EngineRuns counts actual Engine executions (submissions minus hits
+	// minus rejections minus failures-in-flight); the cache-hit e2e test
+	// pins its semantics.
+	EngineRuns atomic.Int64
+	// TrialsDone counts finished simulation trials across all jobs.
+	TrialsDone atomic.Int64
+}
+
+// newMetrics returns a Metrics anchored at the current time (the basis of
+// the trials/sec gauge).
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// TrialsPerSec reports finished trials per second of service uptime — the
+// throughput gauge of the perf trajectory.
+func (m *Metrics) TrialsPerSec() float64 {
+	secs := time.Since(m.start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.TrialsDone.Load()) / secs
+}
+
+// WritePrometheus renders the counters in Prometheus text exposition
+// format. queueDepth is sampled by the caller (it lives in the queue
+// channel, not here).
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP prunesimd_%s %s\n# TYPE prunesimd_%s counter\nprunesimd_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP prunesimd_%s %s\n# TYPE prunesimd_%s gauge\nprunesimd_%s %s\n",
+			name, help, name, name, v)
+	}
+	counter("jobs_submitted_total", "Accepted job submissions, including cache hits.", m.JobsSubmitted.Load())
+	counter("jobs_rejected_total", "Submissions rejected with 429 by queue backpressure.", m.JobsRejected.Load())
+	counter("jobs_done_total", "Jobs finished successfully, including cache hits.", m.JobsDone.Load())
+	counter("jobs_failed_total", "Jobs that ended in an engine error.", m.JobsFailed.Load())
+	counter("cache_hits_total", "Submissions answered from the result store.", m.CacheHits.Load())
+	counter("engine_runs_total", "Scenario engine executions (cache misses actually simulated).", m.EngineRuns.Load())
+	counter("trials_done_total", "Finished simulation trials across all jobs.", m.TrialsDone.Load())
+	gauge("jobs_queued", "Jobs waiting in the queue.", fmt.Sprintf("%d", m.JobsQueued.Load()))
+	gauge("jobs_running", "Jobs currently executing on workers.", fmt.Sprintf("%d", m.JobsRunning.Load()))
+	gauge("queue_depth", "Occupied slots of the bounded job queue.", fmt.Sprintf("%d", queueDepth))
+	gauge("trials_per_sec", "Finished trials per second of uptime.", fmt.Sprintf("%g", m.TrialsPerSec()))
+	gauge("uptime_seconds", "Seconds since the service started.", fmt.Sprintf("%g", time.Since(m.start).Seconds()))
+}
+
+// String implements expvar.Var: the counters as one JSON object.
+func (m *Metrics) String() string {
+	data, _ := json.Marshal(map[string]any{
+		"jobs_submitted": m.JobsSubmitted.Load(),
+		"jobs_rejected":  m.JobsRejected.Load(),
+		"jobs_queued":    m.JobsQueued.Load(),
+		"jobs_running":   m.JobsRunning.Load(),
+		"jobs_done":      m.JobsDone.Load(),
+		"jobs_failed":    m.JobsFailed.Load(),
+		"cache_hits":     m.CacheHits.Load(),
+		"engine_runs":    m.EngineRuns.Load(),
+		"trials_done":    m.TrialsDone.Load(),
+		"trials_per_sec": m.TrialsPerSec(),
+	})
+	return string(data)
+}
+
+var publishMu sync.Mutex
+
+// publishExpvar exposes m as the expvar "prunesimd" variable. expvar panics
+// on duplicate names, and tests construct many servers per process, so only
+// the first server's metrics win the name; later calls are no-ops.
+func publishExpvar(m *Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("prunesimd") == nil {
+		expvar.Publish("prunesimd", m)
+	}
+}

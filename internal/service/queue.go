@@ -1,0 +1,73 @@
+package service
+
+import (
+	"prunesim/internal/scenario"
+)
+
+// startWorkers launches the worker pool draining the job queue. Workers
+// exit when the queue channel is closed (Close) and drained.
+func (s *Server) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.process(job)
+			}
+		}()
+	}
+}
+
+// tryEnqueue places a job on the bounded queue without ever blocking the
+// accept loop: a full queue (or a closed server) rejects immediately and
+// the HTTP layer turns that into 429 (or 503). This is the backpressure
+// seam — under overload clients shed, workers never see more than
+// cap(queue) + workers in-flight jobs.
+func (s *Server) tryEnqueue(job *Job) enqueueResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return enqueueClosed
+	}
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.metrics.JobsQueued.Add(1)
+		return enqueueOK
+	default:
+		return enqueueFull
+	}
+}
+
+// enqueueResult is the outcome of a tryEnqueue attempt.
+type enqueueResult int
+
+const (
+	enqueueOK enqueueResult = iota
+	enqueueFull
+	enqueueClosed
+)
+
+// process runs one job to a terminal state: engine execution with live
+// per-trial progress events, then the outcome lands in the result store so
+// every future identical submission is a cache hit.
+func (s *Server) process(job *Job) {
+	s.metrics.JobsQueued.Add(-1)
+	s.metrics.JobsRunning.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+	job.setRunning()
+	s.metrics.EngineRuns.Add(1)
+	outcome, err := s.engine.RunWithProgress(job.scenario, func(p scenario.TrialProgress) {
+		s.metrics.TrialsDone.Add(1)
+		tp := p
+		job.publish(Event{Type: "progress", Trial: &tp})
+	})
+	if err != nil {
+		s.metrics.JobsFailed.Add(1)
+		job.fail(err)
+		return
+	}
+	s.store.Put(job.hash, outcome)
+	s.metrics.JobsDone.Add(1)
+	job.complete(outcome, false)
+}

@@ -1,0 +1,496 @@
+// Package service is the serving layer of the prunesim reproduction: an
+// HTTP/JSON daemon (cmd/prunesimd) that accepts scenario submissions,
+// queues them on a bounded async queue, drains them through a worker pool
+// running the shared scenario Engine, and caches outcomes in a pluggable
+// result store keyed by the canonical scenario content hash — resubmitting
+// an identical scenario+seed returns the stored outcome without
+// re-simulating.
+//
+// API surface:
+//
+//	POST /v1/jobs                 submit a scenario (inline JSON or library name)
+//	GET  /v1/jobs                 list jobs
+//	GET  /v1/jobs/{id}            job status + outcome when done
+//	GET  /v1/jobs/{id}/events     SSE stream of per-trial progress
+//	GET  /v1/jobs/{id}/trials.csv per-trial result rows (CSV artifact)
+//	GET  /v1/scenarios            the embedded scenario library, runnable by name
+//	GET  /healthz                 liveness + queue/worker snapshot
+//	GET  /metrics                 Prometheus text counters
+//
+// Job lifecycle: queued → running → done | failed; cache hits are born
+// done. See DESIGN.md ("The serving layer") for the architecture.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prunesim/internal/scenario"
+	"prunesim/internal/trace"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueCapacity bounds jobs waiting for a worker (default 64).
+	// Submissions beyond it are rejected with 429.
+	QueueCapacity int
+	// Workers is the worker-pool size (default GOMAXPROCS). Negative means
+	// zero workers — jobs queue but never run; tests use this to exercise
+	// backpressure deterministically.
+	Workers int
+	// Parallelism bounds concurrent trials per engine run; 0 defers to
+	// each scenario's own setting.
+	Parallelism int
+	// Store is the result cache (default a fresh MemoryStore).
+	Store Store
+	// Library is the set of named scenarios POST /v1/jobs accepts by name
+	// and GET /v1/scenarios lists (typically examples/scenarios.Library()).
+	Library []scenario.Scenario
+}
+
+// Server owns the queue, worker pool, job registry, result store and
+// metrics behind the HTTP API. Create with New, expose with Handler, stop
+// with Close. Safe for concurrent use.
+type Server struct {
+	engine   *scenario.Engine
+	store    Store
+	metrics  *Metrics
+	library  map[string]scenario.Scenario
+	libSeq   []scenario.Scenario
+	libInfos []scenarioInfo // precomputed: hashing the library per GET is waste
+	queue    chan *Job
+	start    time.Time
+	// done closes when Close begins, unblocking long-lived handlers (SSE
+	// streams) so a graceful HTTP shutdown is not held hostage by them.
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // job IDs in submission order
+
+	nextID  atomic.Uint64
+	workers int
+	wg      sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemoryStore()
+	}
+	s := &Server{
+		engine:  scenario.NewEngine(cfg.Parallelism),
+		store:   store,
+		metrics: newMetrics(),
+		library: make(map[string]scenario.Scenario, len(cfg.Library)),
+		queue:   make(chan *Job, cfg.QueueCapacity),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+		jobs:    make(map[string]*Job),
+		workers: workers,
+	}
+	// Later entries override earlier ones by name (operator -scenarios
+	// files shadow embedded library scenarios), and the listing is deduped
+	// to match what is actually runnable.
+	for _, sc := range cfg.Library {
+		if i, ok := s.libIndex(sc.Name); ok {
+			s.libSeq[i] = sc
+		} else {
+			s.libSeq = append(s.libSeq, sc)
+		}
+		s.library[sc.Name] = sc
+	}
+	s.libInfos = make([]scenarioInfo, len(s.libSeq))
+	for i, sc := range s.libSeq {
+		hash, err := sc.Hash()
+		if err != nil {
+			hash = "invalid: " + err.Error()
+		}
+		s.libInfos[i] = scenarioInfo{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Hash:        hash,
+			Tasks:       sc.Workload.Tasks,
+			Heuristic:   sc.Platform.Heuristic,
+			Trials:      sc.Run.Trials,
+		}
+	}
+	publishExpvar(s.metrics)
+	s.startWorkers(workers)
+	return s
+}
+
+// libIndex finds a scenario's position in the deduped library sequence
+// (startup-only; the library is immutable afterwards).
+func (s *Server) libIndex(name string) (int, bool) {
+	for i, sc := range s.libSeq {
+		if sc.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Metrics exposes the server's counters (tests and embedders read them).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops accepting jobs and waits for in-flight work to finish.
+// Queued-but-unstarted jobs still run; new submissions get 503.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	close(s.done) // unblock SSE streams before (not after) draining workers
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trials.csv", s.handleTrialsCSV)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// SubmitRequest is the POST /v1/jobs body: exactly one of Name (a library
+// scenario) or Scenario (an inline scenario document, the same schema
+// cmd/hcsim --scenario reads).
+type SubmitRequest struct {
+	Name     string          `json:"name,omitempty"`
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+}
+
+// apiError is the uniform JSON error body.
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit accepts a scenario, answers cache hits from the store, and
+// enqueues misses — rejecting with 429 when the queue is full so the
+// accept loop never blocks.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	var sc scenario.Scenario
+	switch {
+	case req.Name != "" && req.Scenario != nil:
+		apiError(w, http.StatusBadRequest, "give either name or scenario, not both")
+		return
+	case req.Name != "":
+		lib, ok := s.library[req.Name]
+		if !ok {
+			apiError(w, http.StatusNotFound, "unknown scenario %q (see GET /v1/scenarios)", req.Name)
+			return
+		}
+		sc = lib
+	case req.Scenario != nil:
+		parsed, err := scenario.Parse(req.Scenario)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+			return
+		}
+		sc = parsed
+	default:
+		apiError(w, http.StatusBadRequest, "give a scenario or a library name")
+		return
+	}
+	norm, err := sc.Normalize()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
+
+	job, res := s.submit(norm, hash)
+	switch res {
+	case submitCacheHit:
+		writeJSON(w, http.StatusOK, job.status())
+	case submitQueued:
+		writeJSON(w, http.StatusAccepted, job.status())
+	case submitFull:
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusTooManyRequests, "job queue full (%d slots); retry later", cap(s.queue))
+	case submitClosed:
+		apiError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+}
+
+// submitResult classifies what happened to a submission.
+type submitResult int
+
+const (
+	// submitQueued: cache miss, job accepted onto the queue.
+	submitQueued submitResult = iota
+	// submitCacheHit: answered from the result store; the job is born done.
+	submitCacheHit
+	// submitFull: queue at capacity, submission shed (job not registered).
+	submitFull
+	// submitClosed: server shutting down.
+	submitClosed
+)
+
+// submit is the one submission path under both POST /v1/jobs and the
+// programmatic Submit: cache lookup by content hash, then a non-blocking
+// enqueue. The returned job is registered (and resolvable by ID) unless
+// the result is submitFull or submitClosed.
+func (s *Server) submit(norm scenario.Scenario, hash string) (*Job, submitResult) {
+	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
+	job := newJob(id, hash, norm)
+	if cached, ok := s.store.Get(hash); ok {
+		// The stored Outcome embeds the *first* submitter's normalized
+		// scenario; answer with this submission's own labels so the job's
+		// top-level scenario name and outcome.scenario never disagree.
+		relabeled := *cached
+		relabeled.Scenario = norm
+		job.complete(&relabeled, true)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, submitClosed
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsDone.Add(1)
+		return job, submitCacheHit
+	}
+	switch s.tryEnqueue(job) {
+	case enqueueOK:
+		s.mu.Lock()
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		return job, submitQueued
+	case enqueueClosed:
+		return nil, submitClosed
+	default:
+		s.metrics.JobsRejected.Add(1)
+		return nil, submitFull
+	}
+}
+
+// lookupJob fetches a job by the {id} path value.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		apiError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.jobs[id].status()
+		st.Outcome = nil // keep the listing light; fetch one job for results
+		statuses = append(statuses, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: the full
+// event history replays first, then live events until the job reaches a
+// terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		apiError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, live, cancel := job.subscribe()
+	defer cancel()
+	writeEvent := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return ev.Type != "done" && ev.Type != "failed"
+	}
+	for _, ev := range history {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+// handleTrialsCSV serves the per-job CSV artifact: one row per finished
+// trial (trace.WriteTrials). Available once the job is done.
+func (s *Server) handleTrialsCSV(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	st := job.status()
+	if st.State != StateDone {
+		apiError(w, http.StatusConflict, "job %s is %s; trials.csv is available once it is done", st.ID, st.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", st.ID+"_trials.csv"))
+	if err := trace.WriteTrials(w, st.Outcome.Results); err != nil {
+		// Headers are gone; all we can do is cut the stream.
+		return
+	}
+}
+
+// scenarioInfo is one GET /v1/scenarios entry.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Hash        string `json:"hash"`
+	Tasks       int    `json:"tasks"`
+	Heuristic   string `json:"heuristic"`
+	Trials      int    `json:"trials"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.libInfos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.workers,
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"cached_results": s.store.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, len(s.queue))
+}
+
+// ErrClosed reports submission to a closed server (embedding API).
+var ErrClosed = errors.New("service: server closed")
+
+// Submit is the programmatic submission path used by embedders and tests:
+// it behaves exactly like POST /v1/jobs (normalize, hash, cache lookup,
+// bounded enqueue) and returns the job, or ErrClosed / a queue-full error.
+func (s *Server) Submit(sc scenario.Scenario) (*Job, error) {
+	norm, err := sc.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return nil, err
+	}
+	job, res := s.submit(norm, hash)
+	switch res {
+	case submitClosed:
+		return nil, ErrClosed
+	case submitFull:
+		return nil, fmt.Errorf("service: job queue full (%d slots)", cap(s.queue))
+	default:
+		return job, nil
+	}
+}
+
+// Status returns a job's status by ID (embedding API).
+func (s *Server) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return job.status(), true
+}

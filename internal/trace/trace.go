@@ -65,6 +65,46 @@ func (t *Writer) Flush() error {
 	return nil
 }
 
+// WriteTrials exports per-trial results of a finished run as CSV, one row
+// per trial in trial order — the per-job artifact prunesimd serves at
+// GET /v1/jobs/{id}/trials.csv and a convenient import into any plotting
+// pipeline.
+func WriteTrials(out io.Writer, results []*sim.Result) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{
+		"trial", "robustness", "weighted_robustness", "counted", "on_time",
+		"late", "dropped_reactive", "dropped_proactive", "unfinished",
+		"deferrals", "mapping_events", "makespan", "busy_time", "wasted_time",
+	}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for i, r := range results {
+		if err := w.Write([]string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(r.Robustness, 'f', 4, 64),
+			strconv.FormatFloat(r.WeightedRobustness, 'f', 4, 64),
+			strconv.Itoa(r.Counted),
+			strconv.Itoa(r.OnTime),
+			strconv.Itoa(r.Late),
+			strconv.Itoa(r.DroppedReactive),
+			strconv.Itoa(r.DroppedProactive),
+			strconv.Itoa(r.Unfinished),
+			strconv.Itoa(r.Deferrals),
+			strconv.Itoa(r.MappingEvents),
+			strconv.FormatFloat(r.Makespan, 'f', 4, 64),
+			strconv.FormatFloat(r.BusyTime, 'f', 4, 64),
+			strconv.FormatFloat(r.WastedTime, 'f', 4, 64),
+		}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
 // WriteTasks exports a workload trial (arrival order, type, arrival,
 // deadline) as CSV — the shape of the paper's published trial files.
 func WriteTasks(out io.Writer, tasks []*task.Task) error {

@@ -280,6 +280,10 @@ type (
 	ScenarioEngine = scenario.Engine
 )
 
+// ScenarioTrialProgress reports one finished trial during
+// RunScenarioWithProgress (and Engine.RunWithProgress).
+type ScenarioTrialProgress = scenario.TrialProgress
+
 // DefaultScenario returns a ready-to-run scenario at the paper's defaults:
 // a spiky 15K-task workload on the standard 8-machine platform under
 // Min-Min with full pruning.
@@ -300,6 +304,13 @@ func NewScenarioEngine(parallelism int) *ScenarioEngine { return scenario.NewEng
 // running its trials concurrently.
 func RunScenario(s Scenario) (*ScenarioOutcome, error) {
 	return scenario.NewEngine(0).Run(s)
+}
+
+// RunScenarioWithProgress is RunScenario with a live per-trial callback —
+// the hook the prunesimd daemon streams job progress from. Calls are
+// serialized; see scenario.Engine.RunWithProgress for the contract.
+func RunScenarioWithProgress(s Scenario, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
+	return scenario.NewEngine(0).RunWithProgress(s, onTrial)
 }
 
 // Calibration (see internal/calibration).
