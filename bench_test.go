@@ -65,6 +65,14 @@ func BenchmarkFig6SpikyWorkload(b *testing.B) {
 	b.ReportMetric(float64(n), "tasks")
 }
 
+// BenchmarkFigureSweep is the CI bench-regression gate's end-to-end
+// benchmark: one full RunFigure sweep (figure 7b — batch-mode heuristics
+// against the three dropping policies) per iteration. It exercises the
+// entire hot path — workload generation, mapping events, PMF convolution,
+// PCT maintenance, pruning — and its ns/op trajectory across PRs is the
+// repo's headline perf metric (see BENCH_baseline.json).
+func BenchmarkFigureSweep(b *testing.B) { runFigure(b, "7b") }
+
 // BenchmarkFig7aImmediateToggle sweeps immediate-mode heuristics against
 // the three dropping policies (E2).
 func BenchmarkFig7aImmediateToggle(b *testing.B) { runFigure(b, "7a") }

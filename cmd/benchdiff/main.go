@@ -1,0 +1,163 @@
+// Command benchdiff turns Go benchmark output into the repo's stable
+// BENCH_*.json schema and compares two such files against a regression
+// threshold. It is the measurement tool behind the CI bench-regression
+// gate and the local workflow documented in DESIGN.md's Performance
+// section.
+//
+// Usage:
+//
+//	go test -json -run '^$' -bench . ./... | benchdiff parse -o BENCH_head.json
+//	benchdiff parse -o BENCH_head.json bench_raw.jsonl
+//	benchdiff diff [-threshold 15] [-allow-missing] BENCH_baseline.json BENCH_head.json
+//
+// parse accepts both `go test -bench` text and `go test -json -bench`
+// streams, from stdin or from file arguments, and aggregates -count
+// repetitions (minimum ns/op, maximum allocs/op). diff exits 1 when any
+// benchmark is more than threshold percent slower, allocates more per op
+// than the baseline allows (a small slack absorbs parallel-benchmark
+// noise; zero-alloc benchmarks are gated exactly), or has vanished
+// (unless -allow-missing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prunesim/internal/benchfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  benchdiff parse [-o FILE] [INPUT...]
+      Parse 'go test -bench' or 'go test -json -bench' output (stdin when
+      no INPUT) into BENCH_*.json. -count runs are aggregated.
+  benchdiff diff [-threshold PCT] [-allocs-slack PCT] [-allow-missing] BASELINE CURRENT
+      Compare two BENCH_*.json files. Exit 1 on any regression: ns/op more
+      than threshold percent above baseline (default 15), allocs/op growth
+      beyond the slack (default 1%; 0 allocs/op stays exact), or a baseline
+      benchmark missing from CURRENT.
+`)
+}
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := benchfmt.NewParser()
+	if fs.NArg() == 0 {
+		if err := p.Read(os.Stdin); err != nil {
+			return err
+		}
+	}
+	for _, name := range fs.Args() {
+		if err := readInto(p, name); err != nil {
+			return err
+		}
+	}
+	f := p.File()
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := f.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) parsed\n", len(f.Benchmarks))
+	return nil
+}
+
+func readInto(p *benchfmt.Parser, name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Read(f); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 15, "ns/op regression tolerance in percent")
+	allocsSlack := fs.Float64("allocs-slack", 1, "allocs/op tolerance in percent (absorbs parallel-benchmark noise; 0 allocs/op stays exact)")
+	allowMissing := fs.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the current run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two files: BASELINE CURRENT")
+	}
+	baseline, err := loadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	current, err := loadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := benchfmt.Diff(baseline, current, benchfmt.DiffOptions{
+		NsThresholdPct: *threshold,
+		AllocsSlackPct: *allocsSlack,
+		AllowMissing:   *allowMissing,
+	})
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if rep.Failed() {
+		return fmt.Errorf("%d regression(s) against %s (threshold %.0f%%); see DESIGN.md for how to re-baseline",
+			rep.Regressions, fs.Arg(0), *threshold)
+	}
+	return nil
+}
+
+func loadFile(name string) (*benchfmt.File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bf, err := benchfmt.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return bf, nil
+}

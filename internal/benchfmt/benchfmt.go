@@ -1,0 +1,267 @@
+// Package benchfmt parses Go benchmark output — either the raw text of
+// `go test -bench` or the test2json stream of `go test -json -bench` — into
+// a stable, diffable JSON schema, and compares two such files against a
+// regression threshold. It is the engine behind cmd/benchdiff and the CI
+// bench-regression gate: every BENCH_*.json artifact in the repo's perf
+// trajectory uses this schema.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump on incompatible
+// changes so diffs across PRs fail loudly instead of comparing garbage.
+const SchemaVersion = 1
+
+// Benchmark is one benchmark aggregated across its -count runs.
+type Benchmark struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped (BenchmarkConvolve/chained-8 -> BenchmarkConvolve/chained).
+	Name string `json:"name"`
+	// Pkg is the import path the benchmark ran in (empty for raw text
+	// input, which does not carry package information).
+	Pkg string `json:"pkg,omitempty"`
+	// Runs counts how many result lines were aggregated (the -count).
+	Runs int `json:"runs"`
+	// NsPerOp is the minimum ns/op across runs — the least-noise estimate
+	// of the true cost, following the usual benchmarking convention that
+	// noise only ever adds time.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the maximum across runs (allocation
+	// counts are deterministic in steady state; taking the maximum makes
+	// the regression gate conservative). They are -1 when the benchmark
+	// did not report memory statistics.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values, averaged across runs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the top-level BENCH_*.json document.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoOS          string `json:"goos,omitempty"`
+	GoArch        string `json:"goarch,omitempty"`
+	CPU           string `json:"cpu,omitempty"`
+	// Benchmarks are sorted by (pkg, name) for stable diffs.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// key identifies a benchmark across runs.
+type key struct{ pkg, name string }
+
+// accum collects the per-run samples of one benchmark.
+type accum struct {
+	runs    int
+	ns      float64
+	bytes   float64
+	allocs  float64
+	hasMem  bool
+	metrics map[string]float64
+}
+
+// Parser accumulates benchmark result lines from one or more inputs.
+type Parser struct {
+	file    File
+	accs    map[key]*accum
+	order   []key
+	partial map[string]string // package/test -> buffered partial output line
+}
+
+// NewParser returns an empty Parser.
+func NewParser() *Parser {
+	return &Parser{accs: make(map[key]*accum), partial: make(map[string]string)}
+}
+
+// testEvent is the subset of the test2json event schema we need.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// Read consumes one input stream. Lines starting with '{' are treated as
+// test2json events; everything else as raw `go test -bench` output, so both
+// `go test -bench` and `go test -json -bench` pipelines work unchanged.
+//
+// test2json emits an output event per write, not per line — a benchmark
+// result is typically split into a name event ("BenchmarkX-8 \t") and a
+// stats event ("  100\t  1043 ns/op\n") — so events are reassembled into
+// whole lines per (package, test) stream before parsing.
+func (p *Parser) Read(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return fmt.Errorf("benchfmt: bad test2json line: %w", err)
+			}
+			if ev.Action == "output" {
+				p.output(ev.Package, ev.Package+"\x00"+ev.Test, ev.Output)
+			}
+			continue
+		}
+		p.line("", line)
+	}
+	p.flushPartial()
+	return sc.Err()
+}
+
+// output buffers one test2json output chunk for stream, emitting every
+// completed line.
+func (p *Parser) output(pkg, stream, chunk string) {
+	buf := p.partial[stream] + chunk
+	for {
+		nl := strings.IndexByte(buf, '\n')
+		if nl < 0 {
+			break
+		}
+		p.line(pkg, buf[:nl])
+		buf = buf[nl+1:]
+	}
+	if buf == "" {
+		delete(p.partial, stream)
+	} else {
+		p.partial[stream] = buf
+	}
+}
+
+// flushPartial processes unterminated trailing output (a truncated stream).
+func (p *Parser) flushPartial() {
+	for stream, buf := range p.partial {
+		pkg, _, _ := strings.Cut(stream, "\x00")
+		p.line(pkg, buf)
+		delete(p.partial, stream)
+	}
+}
+
+// maxprocsSuffix matches the trailing -N GOMAXPROCS marker of a benchmark
+// name.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// line ingests one output line, keeping benchmark results and run metadata.
+func (p *Parser) line(pkg, line string) {
+	line = strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		p.file.GoOS = strings.TrimPrefix(line, "goos: ")
+		return
+	case strings.HasPrefix(line, "goarch: "):
+		p.file.GoArch = strings.TrimPrefix(line, "goarch: ")
+		return
+	case strings.HasPrefix(line, "cpu: "):
+		p.file.CPU = strings.TrimPrefix(line, "cpu: ")
+		return
+	}
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	// A result line is "Name iterations value unit [value unit]...": at
+	// least four fields with an even tail of value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return // "BenchmarkX" alone or a log line, not a result
+	}
+	name := maxprocsSuffix.ReplaceAllString(fields[0], "")
+	k := key{pkg: pkg, name: name}
+	a, ok := p.accs[k]
+	if !ok {
+		a = &accum{ns: math.NaN(), metrics: make(map[string]float64)}
+		p.accs[k] = a
+		p.order = append(p.order, k)
+	}
+	a.runs++
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			if math.IsNaN(a.ns) || v < a.ns {
+				a.ns = v
+			}
+		case "B/op":
+			if !a.hasMem || v > a.bytes {
+				a.bytes = v
+			}
+			a.hasMem = true
+		case "allocs/op":
+			if !a.hasMem || v > a.allocs {
+				a.allocs = v
+			}
+			a.hasMem = true
+		case "MB/s":
+			// throughput is derivable from ns/op; skip
+		default:
+			a.metrics[unit] += v // averaged over runs in File()
+		}
+	}
+}
+
+// File returns the aggregated document, sorted for stable output.
+func (p *Parser) File() *File {
+	f := p.file
+	f.SchemaVersion = SchemaVersion
+	for _, k := range p.order {
+		a := p.accs[k]
+		b := Benchmark{
+			Name: k.name, Pkg: k.pkg, Runs: a.runs,
+			NsPerOp: a.ns, BytesPerOp: -1, AllocsPerOp: -1,
+		}
+		if a.hasMem {
+			b.BytesPerOp = a.bytes
+			b.AllocsPerOp = a.allocs
+		}
+		if len(a.metrics) > 0 {
+			b.Metrics = make(map[string]float64, len(a.metrics))
+			for unit, sum := range a.metrics {
+				b.Metrics[unit] = sum / float64(a.runs)
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		if f.Benchmarks[i].Pkg != f.Benchmarks[j].Pkg {
+			return f.Benchmarks[i].Pkg < f.Benchmarks[j].Pkg
+		}
+		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+	})
+	return &f
+}
+
+// Load reads a BENCH_*.json file produced by File/WriteJSON.
+func Load(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: schema version %d, tool expects %d (re-baseline with the current cmd/benchdiff)",
+			f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// WriteJSON writes the document with stable formatting.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,264 @@
+package benchfmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: prunesim/internal/pmf
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkConvolve/small-8         1000000	      1043 ns/op	     896 B/op	       3 allocs/op
+BenchmarkConvolve/small-8         1000000	      1100 ns/op	     896 B/op	       3 allocs/op
+BenchmarkConvolve/chained-8        500000	      2206 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFigureSweep-8                  2	 460000000 ns/op	        73.90 mean_robustness_%
+BenchmarkFigureSweep-8                  2	 440000000 ns/op	        74.10 mean_robustness_%
+PASS
+`
+
+func TestParseRawText(t *testing.T) {
+	p := NewParser()
+	if err := p.Read(strings.NewReader(rawBench)); err != nil {
+		t.Fatal(err)
+	}
+	f := p.File()
+	if f.GoOS != "linux" || f.GoArch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("metadata not captured: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	small := byName["BenchmarkConvolve/small"]
+	if small.Runs != 2 {
+		t.Errorf("small.Runs = %d, want 2", small.Runs)
+	}
+	if small.NsPerOp != 1043 {
+		t.Errorf("small.NsPerOp = %v, want min(1043,1100)", small.NsPerOp)
+	}
+	if small.AllocsPerOp != 3 || small.BytesPerOp != 896 {
+		t.Errorf("small memory stats wrong: %+v", small)
+	}
+	chained := byName["BenchmarkConvolve/chained"]
+	if chained.AllocsPerOp != 0 {
+		t.Errorf("chained.AllocsPerOp = %v, want 0", chained.AllocsPerOp)
+	}
+	sweep := byName["BenchmarkFigureSweep"]
+	if sweep.NsPerOp != 440000000 {
+		t.Errorf("sweep.NsPerOp = %v, want 440000000", sweep.NsPerOp)
+	}
+	if sweep.AllocsPerOp != -1 || sweep.BytesPerOp != -1 {
+		t.Errorf("sweep without -benchmem should report -1 memory stats: %+v", sweep)
+	}
+	if got := sweep.Metrics["mean_robustness_%"]; math.Abs(got-74.0) > 1e-9 {
+		t.Errorf("sweep custom metric = %v, want mean 74.0", got)
+	}
+}
+
+func TestParseTestJSON(t *testing.T) {
+	lines := strings.Join([]string{
+		`{"Action":"output","Package":"prunesim/internal/pmf","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"prunesim/internal/pmf","Output":"BenchmarkConvolve/large-8   \t   20000\t     61000 ns/op\t    8192 B/op\t       2 allocs/op\n"}`,
+		`{"Action":"run","Package":"prunesim/internal/pmf"}`,
+		`{"Action":"output","Package":"prunesim","Output":"BenchmarkFigureSweep-8   \t       2\t 450000000 ns/op\n"}`,
+		`{"Action":"pass","Package":"prunesim"}`,
+	}, "\n")
+	p := NewParser()
+	if err := p.Read(strings.NewReader(lines)); err != nil {
+		t.Fatal(err)
+	}
+	f := p.File()
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	// Sorted by (pkg, name): "prunesim" < "prunesim/internal/pmf".
+	if f.Benchmarks[0].Name != "BenchmarkFigureSweep" || f.Benchmarks[0].Pkg != "prunesim" {
+		t.Errorf("order/pkg wrong: %+v", f.Benchmarks[0])
+	}
+	if f.Benchmarks[1].NsPerOp != 61000 || f.Benchmarks[1].AllocsPerOp != 2 {
+		t.Errorf("json-parsed benchmark wrong: %+v", f.Benchmarks[1])
+	}
+}
+
+func TestParseTestJSONSplitResultLine(t *testing.T) {
+	// test2json emits one event per write: the benchmark name (ending in a
+	// tab, no newline) and its stats arrive as separate events and must be
+	// reassembled into one result line.
+	lines := strings.Join([]string{
+		`{"Action":"output","Package":"prunesim","Test":"BenchmarkSimulationMM15K","Output":"BenchmarkSimulationMM15K           \t"}`,
+		`{"Action":"output","Package":"prunesim","Test":"BenchmarkSimulationMM15K","Output":"      30\t 343000000 ns/op\t        74.61 robustness_%\n"}`,
+	}, "\n")
+	p := NewParser()
+	if err := p.Read(strings.NewReader(lines)); err != nil {
+		t.Fatal(err)
+	}
+	f := p.File()
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("split result line not reassembled: %+v", f.Benchmarks)
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkSimulationMM15K" || b.NsPerOp != 343000000 {
+		t.Errorf("reassembled benchmark wrong: %+v", b)
+	}
+	if got := b.Metrics["robustness_%"]; math.Abs(got-74.61) > 1e-9 {
+		t.Errorf("metric = %v, want 74.61", got)
+	}
+}
+
+func TestParseIgnoresNonResultBenchmarkLines(t *testing.T) {
+	p := NewParser()
+	in := "BenchmarkConvolve/small\nBenchmarkConvolve logs something odd\n--- BENCH: BenchmarkX-8\n"
+	if err := p.Read(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if f := p.File(); len(f.Benchmarks) != 0 {
+		t.Fatalf("expected no benchmarks, got %+v", f.Benchmarks)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := NewParser()
+	if err := p.Read(strings.NewReader(rawBench)); err != nil {
+		t.Fatal(err)
+	}
+	f := p.File()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(f.Benchmarks) || got.CPU != f.CPU {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"schema_version": 999}`)); err == nil {
+		t.Fatal("expected schema version error")
+	}
+}
+
+// bench builds a one-benchmark File for diff tests.
+func benchFile(name string, ns, allocs float64) *File {
+	return &File{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: name, Pkg: "p", Runs: 1, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: 0},
+	}}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	rep := Diff(benchFile("BenchmarkX", 100, 2), benchFile("BenchmarkX", 110, 2),
+		DiffOptions{NsThresholdPct: 15})
+	if rep.Failed() {
+		t.Fatalf("+10%% at threshold 15%% must pass: %+v", rep.Entries)
+	}
+	if rep.Entries[0].Verdict != VerdictOK {
+		t.Errorf("verdict = %s, want ok", rep.Entries[0].Verdict)
+	}
+}
+
+func TestDiffNsRegressionFails(t *testing.T) {
+	rep := Diff(benchFile("BenchmarkX", 100, 2), benchFile("BenchmarkX", 120, 2),
+		DiffOptions{NsThresholdPct: 15})
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("+20%% must fail: %+v", rep)
+	}
+	if rep.Entries[0].Verdict != VerdictRegression {
+		t.Errorf("verdict = %s, want %s", rep.Entries[0].Verdict, VerdictRegression)
+	}
+}
+
+func TestDiffAllocRegressionFailsEvenWhenFaster(t *testing.T) {
+	rep := Diff(benchFile("BenchmarkX", 100, 0), benchFile("BenchmarkX", 50, 1),
+		DiffOptions{NsThresholdPct: 15})
+	if !rep.Failed() {
+		t.Fatal("allocs/op growth must fail regardless of speedup")
+	}
+	if rep.Entries[0].Verdict != VerdictAllocsGrew {
+		t.Errorf("verdict = %s, want %s", rep.Entries[0].Verdict, VerdictAllocsGrew)
+	}
+}
+
+func TestDiffAllocsSlackAbsorbsNoiseButKeepsZeroExact(t *testing.T) {
+	// Within 1% slack: 329000 -> 329050 passes.
+	rep := Diff(benchFile("BenchmarkX", 100, 329000), benchFile("BenchmarkX", 100, 329050),
+		DiffOptions{NsThresholdPct: 15, AllocsSlackPct: 1})
+	if rep.Failed() {
+		t.Fatalf("0.015%% allocs noise must pass with 1%% slack: %+v", rep.Entries)
+	}
+	// Beyond slack: +2% fails.
+	rep = Diff(benchFile("BenchmarkX", 100, 329000), benchFile("BenchmarkX", 100, 336000),
+		DiffOptions{NsThresholdPct: 15, AllocsSlackPct: 1})
+	if !rep.Failed() {
+		t.Fatal("+2% allocs must fail with 1% slack")
+	}
+	// A zero-alloc benchmark stays exact regardless of slack.
+	rep = Diff(benchFile("BenchmarkX", 100, 0), benchFile("BenchmarkX", 100, 1),
+		DiffOptions{NsThresholdPct: 15, AllocsSlackPct: 5})
+	if !rep.Failed() {
+		t.Fatal("0 -> 1 allocs must fail even with slack")
+	}
+}
+
+func TestDiffImprovementReported(t *testing.T) {
+	rep := Diff(benchFile("BenchmarkX", 100, 2), benchFile("BenchmarkX", 60, 1),
+		DiffOptions{NsThresholdPct: 15})
+	if rep.Failed() {
+		t.Fatalf("improvement must pass: %+v", rep.Entries)
+	}
+	if rep.Entries[0].Verdict != VerdictImproved {
+		t.Errorf("verdict = %s, want improved", rep.Entries[0].Verdict)
+	}
+}
+
+func TestDiffMissingBenchmarkFailsUnlessAllowed(t *testing.T) {
+	old := benchFile("BenchmarkX", 100, 2)
+	cur := benchFile("BenchmarkY", 100, 2)
+	if rep := Diff(old, cur, DiffOptions{NsThresholdPct: 15}); !rep.Failed() {
+		t.Fatal("missing baseline benchmark must fail by default")
+	}
+	rep := Diff(old, cur, DiffOptions{NsThresholdPct: 15, AllowMissing: true})
+	if rep.Failed() {
+		t.Fatalf("-allow-missing must tolerate a vanished benchmark: %+v", rep.Entries)
+	}
+	var verdicts []Verdict
+	for _, e := range rep.Entries {
+		verdicts = append(verdicts, e.Verdict)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("want missing+new entries, got %v", verdicts)
+	}
+}
+
+func TestDiffBareNameBaselineMatchesPackagedRun(t *testing.T) {
+	// A baseline parsed from raw text has no package info; it must still
+	// match the same benchmark name from a -json run.
+	old := &File{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Runs: 1, NsPerOp: 100, AllocsPerOp: 1},
+	}}
+	rep := Diff(old, benchFile("BenchmarkX", 100, 1), DiffOptions{NsThresholdPct: 15})
+	if rep.Failed() || len(rep.Entries) != 1 {
+		t.Fatalf("bare-name baseline should match packaged benchmark: %+v", rep.Entries)
+	}
+}
+
+func TestDiffTextReport(t *testing.T) {
+	rep := Diff(benchFile("BenchmarkX", 100, 2), benchFile("BenchmarkX", 130, 3),
+		DiffOptions{NsThresholdPct: 15})
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkX") || !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("report text missing expected content:\n%s", out)
+	}
+}

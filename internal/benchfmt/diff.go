@@ -1,0 +1,214 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DiffOptions configures the regression comparison.
+type DiffOptions struct {
+	// NsThresholdPct is the ns/op regression tolerance in percent: a
+	// benchmark whose new ns/op exceeds the old by more than this fails.
+	// Wall-clock comparisons only make sense between runs on comparable
+	// hardware; re-baseline when the reference machine changes.
+	NsThresholdPct float64
+	// AllocsSlackPct is the relative tolerance for allocs/op growth in
+	// percent. Parallel benchmarks (sweeps over worker pools, sync.Pool
+	// reuse) report allocation counts with a sliver of run-to-run noise; a
+	// 1% slack absorbs it while a benchmark at 0 allocs/op stays gated
+	// exactly (0 times anything is 0). Negative means 0.
+	AllocsSlackPct float64
+	// AllowMissing downgrades benchmarks present in the baseline but
+	// absent from the new run from a failure to a note. By default a
+	// vanished benchmark fails the diff — a silently deleted benchmark is
+	// a hole in the gate.
+	AllowMissing bool
+}
+
+// Verdict classifies one benchmark's comparison.
+type Verdict string
+
+const (
+	VerdictOK         Verdict = "ok"
+	VerdictImproved   Verdict = "improved"
+	VerdictRegression Verdict = "REGRESSION"
+	VerdictAllocsGrew Verdict = "ALLOCS-REGRESSION"
+	VerdictMissing    Verdict = "missing"
+	VerdictNew        Verdict = "new"
+	VerdictIncomplete Verdict = "incomplete"
+)
+
+// improvedReportable is how many percent faster a benchmark must be before
+// the report labels it improved rather than ok (visual noise floor).
+const improvedReportable = -2.0
+
+// Entry is one benchmark's diff row.
+type Entry struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg,omitempty"`
+	OldNs      float64 `json:"old_ns_per_op"`
+	NewNs      float64 `json:"new_ns_per_op"`
+	DeltaPct   float64 `json:"delta_pct"` // positive = slower
+	OldAllocs  float64 `json:"old_allocs_per_op"`
+	NewAllocs  float64 `json:"new_allocs_per_op"`
+	Verdict    Verdict `json:"verdict"`
+	Regression bool    `json:"regression"`
+}
+
+// Report is the outcome of comparing a new run against a baseline.
+type Report struct {
+	Entries     []Entry `json:"entries"`
+	Regressions int     `json:"regressions"`
+}
+
+// Failed reports whether any entry regressed.
+func (r *Report) Failed() bool { return r.Regressions > 0 }
+
+// Diff compares a new run against a baseline. Benchmarks are matched by
+// (pkg, name) and, when the baseline carries no package information (raw
+// text input), by bare name.
+func Diff(baseline, current *File, opts DiffOptions) *Report {
+	cur := make(map[key]*Benchmark, len(current.Benchmarks))
+	curByName := make(map[string]*Benchmark, len(current.Benchmarks))
+	for i := range current.Benchmarks {
+		b := &current.Benchmarks[i]
+		cur[key{pkg: b.Pkg, name: b.Name}] = b
+		curByName[b.Name] = b
+	}
+	seen := make(map[*Benchmark]bool)
+	rep := &Report{}
+	for i := range baseline.Benchmarks {
+		old := &baseline.Benchmarks[i]
+		nb, ok := cur[key{pkg: old.Pkg, name: old.Name}]
+		if !ok && old.Pkg == "" {
+			nb, ok = curByName[old.Name]
+		}
+		e := Entry{
+			Name: old.Name, Pkg: old.Pkg,
+			OldNs: old.NsPerOp, OldAllocs: old.AllocsPerOp,
+			NewNs: math.NaN(), NewAllocs: -1,
+		}
+		if !ok {
+			e.Verdict = VerdictMissing
+			if !opts.AllowMissing {
+				e.Regression = true
+			}
+			rep.add(e)
+			continue
+		}
+		seen[nb] = true
+		e.NewNs = nb.NsPerOp
+		e.NewAllocs = nb.AllocsPerOp
+		switch {
+		case old.NsPerOp <= 0 || math.IsNaN(old.NsPerOp) || math.IsNaN(nb.NsPerOp):
+			e.Verdict = VerdictIncomplete
+		default:
+			e.DeltaPct = 100 * (nb.NsPerOp - old.NsPerOp) / old.NsPerOp
+			switch {
+			case e.DeltaPct > opts.NsThresholdPct:
+				e.Verdict = VerdictRegression
+				e.Regression = true
+			case e.DeltaPct < improvedReportable:
+				e.Verdict = VerdictImproved
+			default:
+				e.Verdict = VerdictOK
+			}
+		}
+		// Allocs/op growth beyond the slack fails regardless of the time
+		// delta: allocation counts are hardware-independent, so this gate
+		// holds even across dissimilar runners.
+		slack := opts.AllocsSlackPct
+		if slack < 0 {
+			slack = 0
+		}
+		if old.AllocsPerOp >= 0 && nb.AllocsPerOp > old.AllocsPerOp*(1+slack/100) {
+			e.Verdict = VerdictAllocsGrew
+			e.Regression = true
+		}
+		rep.add(e)
+	}
+	for i := range current.Benchmarks {
+		nb := &current.Benchmarks[i]
+		if !seen[nb] {
+			if _, inBase := indexByName(baseline, nb.Name); inBase {
+				continue // matched via bare-name fallback above
+			}
+			rep.add(Entry{
+				Name: nb.Name, Pkg: nb.Pkg,
+				OldNs: math.NaN(), OldAllocs: -1,
+				NewNs: nb.NsPerOp, NewAllocs: nb.AllocsPerOp,
+				Verdict: VerdictNew,
+			})
+		}
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Regression != rep.Entries[j].Regression {
+			return rep.Entries[i].Regression
+		}
+		if rep.Entries[i].Pkg != rep.Entries[j].Pkg {
+			return rep.Entries[i].Pkg < rep.Entries[j].Pkg
+		}
+		return rep.Entries[i].Name < rep.Entries[j].Name
+	})
+	return rep
+}
+
+// indexByName finds a benchmark by bare name in f.
+func indexByName(f *File, name string) (int, bool) {
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (r *Report) add(e Entry) {
+	if e.Regression {
+		r.Regressions++
+	}
+	r.Entries = append(r.Entries, e)
+}
+
+// WriteText renders the report as an aligned human-readable table.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old aps", "new aps", "verdict"); err != nil {
+		return err
+	}
+	for _, e := range r.Entries {
+		name := e.Name
+		if e.Pkg != "" {
+			name = e.Pkg + "." + name
+		}
+		if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s  %s\n",
+			name, fmtNs(e.OldNs), fmtNs(e.NewNs), fmtPct(e), fmtAllocs(e.OldAllocs), fmtAllocs(e.NewAllocs), e.Verdict); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n%d benchmark(s), %d regression(s)\n", len(r.Entries), r.Regressions)
+	return err
+}
+
+func fmtNs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtPct(e Entry) string {
+	if math.IsNaN(e.OldNs) || math.IsNaN(e.NewNs) || e.OldNs <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", e.DeltaPct)
+}
+
+func fmtAllocs(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

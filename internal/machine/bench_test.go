@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"testing"
+
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// benchLookup is a deterministic PET table shaped like the paper's Gamma
+// histograms (a few dozen bins).
+func benchLookup() PETLookup {
+	pets := make([]*pmf.PMF, 3)
+	for k := range pets {
+		masses := make([]float64, 16+8*k)
+		for i := range masses {
+			masses[i] = float64(1+(i*7+k*3)%13) / 100
+		}
+		pets[k] = pmf.New(1+k, 1, masses, 0)
+	}
+	return func(taskType int) *pmf.PMF { return pets[taskType] }
+}
+
+// BenchmarkMachineSteadyState measures the per-task machine cycle of an
+// oversubscribed queue — chance query, enqueue, start, complete — which is
+// the simulator's inner loop. Steady state must not allocate: every PMF
+// buffer is recycled through the machine's scratch.
+func BenchmarkMachineSteadyState(b *testing.B) {
+	m := New(0, 0, benchLookup(), 1)
+	m.SetScratch(&pmf.Scratch{})
+	tasks := make([]*task.Task, 64)
+	for i := range tasks {
+		tasks[i] = task.New(i, i%3, 0, 1e9)
+	}
+	// Pre-fill the queue so starts always find work.
+	now := 0.0
+	for _, t := range tasks[:8] {
+		m.Enqueue(t, now)
+	}
+	m.StartNext(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1.5
+		t := tasks[(8+i)%len(tasks)]
+		t.ID = 64 + i // fresh identity; arrival stays in the past
+		_ = m.ChanceIfEnqueued(t.Type, t.Deadline, now)
+		m.Enqueue(t, now)
+		m.Complete(now)
+		m.StartNext(now)
+	}
+}
+
+// BenchmarkMachineRefreshPCTs measures RefreshPCTs over a 24-deep queue in
+// the incremental regimes the simulator hits: repeated refreshes at the
+// same effective anchor (cache hit, no convolution) and refreshes after
+// time advanced past a bin boundary (reconvolution).
+func BenchmarkMachineRefreshPCTs(b *testing.B) {
+	b.Run("anchor-hit", func(b *testing.B) {
+		m := New(0, 0, benchLookup(), 1)
+		m.SetScratch(&pmf.Scratch{})
+		for i := 0; i < 24; i++ {
+			m.Enqueue(task.New(i, i%3, 0, 1e9), 0)
+		}
+		m.StartNext(0)
+		m.RefreshPCTs(0.25)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RefreshPCTs(0.25) // same anchor: must be a no-op
+		}
+	})
+	b.Run("anchor-moved", func(b *testing.B) {
+		m := New(0, 0, benchLookup(), 1)
+		m.SetScratch(&pmf.Scratch{})
+		for i := 0; i < 24; i++ {
+			m.Enqueue(task.New(i, i%3, 0, 1e9), 0)
+		}
+		m.StartNext(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate between two cut bins: every call moves the anchor
+			// and reconvolves the whole queue in place.
+			m.RefreshPCTs(float64(2 + i%2))
+		}
+	})
+}
+
+// BenchmarkMachineDropSweep measures DropPending with a predicate that
+// drops nothing — the reactive sweep the simulator runs on every machine at
+// every mapping event. It must perform no convolutions and no allocations.
+func BenchmarkMachineDropSweep(b *testing.B) {
+	m := New(0, 0, benchLookup(), 1)
+	m.SetScratch(&pmf.Scratch{})
+	for i := 0; i < 24; i++ {
+		m.Enqueue(task.New(i, i%3, 0, 1e9), 0)
+	}
+	m.StartNext(0)
+	m.Pending() // settle the chain
+	never := func(Entry) bool { return false }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DropPending(0, never)
+	}
+}

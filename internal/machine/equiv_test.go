@@ -1,0 +1,357 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// This file proves the incremental-PCT machine equivalent to a reference
+// implementation that reconvolves the full queue on every refresh — a
+// direct port of the pre-incremental machine code, written against the
+// immutable pmf API. Both are driven through randomized operation
+// sequences and compared bitwise after every step: because the in-place
+// pmf kernel is bitwise-identical to the immutable one, any divergence
+// would expose a caching or chain-invalidation bug, not float noise.
+
+// refMachine is the full-recompute reference.
+type refMachine struct {
+	pet      PETLookup
+	binWidth float64
+	running  *task.Task
+	runComp  *pmf.PMF
+	pending  []Entry
+	stale    bool
+}
+
+func (m *refMachine) baselinePCT(now float64) *pmf.PMF {
+	if m.running == nil {
+		return pmf.Delta(now, m.binWidth)
+	}
+	return m.runComp.ConditionMin(now)
+}
+
+func (m *refMachine) refreshIfStale() {
+	if !m.stale {
+		return
+	}
+	var prev *pmf.PMF
+	if m.running != nil {
+		prev = m.runComp
+	} else if len(m.pending) > 0 {
+		prev = pmf.Delta(m.pending[0].Task.Arrival, m.binWidth)
+	} else {
+		m.stale = false
+		return
+	}
+	for i := range m.pending {
+		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
+		m.pending[i].PCT = pct
+		prev = pct
+	}
+	m.stale = false
+}
+
+func (m *refMachine) lastPCT(now float64) *pmf.PMF {
+	m.refreshIfStale()
+	if n := len(m.pending); n > 0 {
+		return m.pending[n-1].PCT
+	}
+	return m.baselinePCT(now)
+}
+
+func (m *refMachine) expectedReady(now float64) float64 {
+	return m.lastPCT(now).Mean()
+}
+
+func (m *refMachine) chanceIfEnqueued(taskType int, deadline, now float64) float64 {
+	return m.lastPCT(now).Convolve(m.pet(taskType)).ProbLE(deadline)
+}
+
+func (m *refMachine) enqueue(t *task.Task, now float64) {
+	pct := m.lastPCT(now).Convolve(m.pet(t.Type))
+	t.Status = task.StatusMachineQueued
+	m.pending = append(m.pending, Entry{Task: t, PCT: pct})
+}
+
+func (m *refMachine) startNext(now float64) *task.Task {
+	if m.running != nil || len(m.pending) == 0 {
+		return nil
+	}
+	m.refreshIfStale()
+	head := m.pending[0]
+	copy(m.pending, m.pending[1:])
+	m.pending = m.pending[:len(m.pending)-1]
+	m.running = head.Task
+	m.running.Start = now
+	m.runComp = pmf.Delta(now, m.binWidth).Convolve(m.pet(head.Task.Type))
+	m.stale = true
+	return m.running
+}
+
+func (m *refMachine) complete(now float64) *task.Task {
+	t := m.running
+	t.Completion = now
+	m.running = nil
+	m.runComp = nil
+	m.stale = true
+	return t
+}
+
+func (m *refMachine) dropPending(now float64, shouldDrop func(e Entry) bool) []*task.Task {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	m.refreshIfStale()
+	var dropped []*task.Task
+	var prev *pmf.PMF
+	dirty := false
+	kept := m.pending[:0]
+	for _, e := range m.pending {
+		if dirty {
+			e.PCT = prev.Convolve(m.pet(e.Task.Type))
+		}
+		if shouldDrop(e) {
+			if !dirty {
+				dirty = true
+				if len(kept) > 0 {
+					prev = kept[len(kept)-1].PCT
+				} else {
+					prev = m.baselinePCT(now)
+				}
+			}
+			dropped = append(dropped, e.Task)
+			continue
+		}
+		kept = append(kept, e)
+		if dirty {
+			prev = e.PCT
+		}
+	}
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = Entry{}
+	}
+	m.pending = kept
+	return dropped
+}
+
+func (m *refMachine) refreshPCTs(now float64) {
+	prev := m.baselinePCT(now)
+	for i := range m.pending {
+		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
+		m.pending[i].PCT = pct
+		prev = pct
+	}
+	m.stale = false
+}
+
+// pmfBitwise compares two PMFs bit for bit via the exported accessors.
+func pmfBitwise(a, b *pmf.PMF) error {
+	if a.Width() != b.Width() {
+		return fmt.Errorf("width %v vs %v", a.Width(), b.Width())
+	}
+	if a.Origin() != b.Origin() || a.NumBins() != b.NumBins() {
+		return fmt.Errorf("support [%d,+%d) vs [%d,+%d)", a.Origin(), a.NumBins(), b.Origin(), b.NumBins())
+	}
+	if math.Float64bits(a.Tail()) != math.Float64bits(b.Tail()) {
+		return fmt.Errorf("tail %v vs %v", a.Tail(), b.Tail())
+	}
+	for i := a.Origin(); i < a.Origin()+a.NumBins(); i++ {
+		if math.Float64bits(a.Mass(i)) != math.Float64bits(b.Mass(i)) {
+			return fmt.Errorf("mass[%d] %v vs %v", i, a.Mass(i), b.Mass(i))
+		}
+	}
+	return nil
+}
+
+// opKind enumerates the randomized operations.
+type opKind uint8
+
+const (
+	opEnqueue opKind = iota
+	opStart
+	opComplete
+	opDrop
+	opRefresh
+	opAdvance
+	opObserve // ExpectedReady + ChanceIfEnqueued (cache-exercising reads)
+	numOpKinds
+)
+
+// equivScenario is a fuzzer-generated operation sequence.
+type equivScenario struct {
+	ops  []opKind
+	args []uint8
+}
+
+// Generate implements quick.Generator.
+func (equivScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 4 + r.Intn(40)
+	sc := equivScenario{ops: make([]opKind, n), args: make([]uint8, n)}
+	for i := range sc.ops {
+		sc.ops[i] = opKind(r.Intn(int(numOpKinds)))
+		sc.args[i] = uint8(r.Intn(256))
+	}
+	return reflect.ValueOf(sc)
+}
+
+// randomPET builds three deterministic task-type PETs with irregular masses
+// so conditioning hits every branch (including tails).
+func randomPET() PETLookup {
+	r := rand.New(rand.NewSource(0xfeed))
+	pets := make([]*pmf.PMF, 3)
+	for k := range pets {
+		n := 1 + r.Intn(6)
+		masses := make([]float64, n)
+		for i := range masses {
+			masses[i] = r.Float64() + 1e-3
+		}
+		var tail float64
+		if k == 2 {
+			tail = 0.1 // one type with tail mass exercises anchorTail
+		}
+		pets[k] = pmf.New(r.Intn(3), 1, masses, tail)
+	}
+	return func(taskType int) *pmf.PMF { return pets[taskType] }
+}
+
+// TestPropIncrementalEquivalentToFullRecompute drives the incremental
+// machine and the full-recompute reference through identical randomized
+// operation sequences and requires bitwise-equal queue state throughout.
+func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
+	lookup := randomPET()
+	f := func(sc equivScenario) bool {
+		inc := New(0, 0, lookup, 1)
+		scratch := &pmf.Scratch{}
+		inc.SetScratch(scratch)
+		ref := &refMachine{pet: lookup, binWidth: 1}
+		now := 0.0
+		nextID := 0
+		check := func(step int) bool {
+			incPending := inc.Pending()
+			ref.refreshIfStale()
+			if len(incPending) != len(ref.pending) {
+				t.Logf("step %d: pending %d vs %d", step, len(incPending), len(ref.pending))
+				return false
+			}
+			for i := range incPending {
+				if incPending[i].Task.ID != ref.pending[i].Task.ID {
+					t.Logf("step %d entry %d: task mismatch", step, i)
+					return false
+				}
+				if err := pmfBitwise(incPending[i].PCT, ref.pending[i].PCT); err != nil {
+					t.Logf("step %d entry %d: %v", step, i, err)
+					return false
+				}
+			}
+			return true
+		}
+		for step, op := range sc.ops {
+			arg := sc.args[step]
+			switch op {
+			case opEnqueue:
+				tt := int(arg) % 3
+				a := task.New(nextID, tt, now, now+float64(arg%17)+1)
+				b := task.New(nextID, tt, now, now+float64(arg%17)+1)
+				nextID++
+				inc.Enqueue(a, now)
+				ref.enqueue(b, now)
+			case opStart:
+				st := inc.StartNext(now)
+				rt := ref.startNext(now)
+				if (st == nil) != (rt == nil) {
+					t.Logf("step %d: StartNext mismatch", step)
+					return false
+				}
+			case opComplete:
+				if inc.Running() == nil {
+					continue
+				}
+				inc.Complete(now)
+				ref.complete(now)
+			case opDrop:
+				mask := arg
+				pred := func(e Entry) bool { return (mask>>(uint(e.Task.ID)%8))&1 == 1 }
+				di := inc.DropPending(now, pred)
+				dr := ref.dropPending(now, pred)
+				if len(di) != len(dr) {
+					t.Logf("step %d: dropped %d vs %d", step, len(di), len(dr))
+					return false
+				}
+				for i := range di {
+					if di[i].ID != dr[i].ID {
+						t.Logf("step %d: dropped order mismatch", step)
+						return false
+					}
+				}
+			case opRefresh:
+				inc.RefreshPCTs(now)
+				ref.refreshPCTs(now)
+			case opAdvance:
+				now += float64(arg%13) * 0.4
+			case opObserve:
+				if er, rr := inc.ExpectedReady(now), ref.expectedReady(now); math.Float64bits(er) != math.Float64bits(rr) {
+					t.Logf("step %d: ExpectedReady %v vs %v", step, er, rr)
+					return false
+				}
+				tt := int(arg) % 3
+				deadline := now + float64(arg%11)
+				ci := inc.ChanceIfEnqueued(tt, deadline, now)
+				cr := ref.chanceIfEnqueued(tt, deadline, now)
+				if math.Float64bits(ci) != math.Float64bits(cr) {
+					t.Logf("step %d: chance %v vs %v", step, ci, cr)
+					return false
+				}
+			}
+			if !check(step) {
+				return false
+			}
+		}
+		// Final cross-check of the machine-free view.
+		if err := pmfBitwise(inc.LastPCT(now), ref.lastPCT(now)); err != nil {
+			t.Logf("final LastPCT: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefreshPCTsSkipIsExact pins the headline incremental claim: calling
+// RefreshPCTs twice at times that condition to the same anchor performs no
+// work the second time, and the PCTs stay bitwise-identical to a full
+// recompute by the reference implementation.
+func TestRefreshPCTsSkipIsExact(t *testing.T) {
+	lookup := randomPET()
+	inc := New(0, 0, lookup, 1)
+	ref := &refMachine{pet: lookup, binWidth: 1}
+	for i := 0; i < 4; i++ {
+		a := task.New(i, i%3, 0, 100)
+		b := task.New(i, i%3, 0, 100)
+		inc.Enqueue(a, 0)
+		ref.enqueue(b, 0)
+	}
+	inc.StartNext(0)
+	ref.startNext(0)
+	for _, now := range []float64{0.2, 0.9, 1.4, 1.6, 2.2, 3.7, 9.0, 9.1} {
+		inc.RefreshPCTs(now)
+		ref.refreshPCTs(now)
+		ip, rp := inc.Pending(), ref.pending
+		if len(ip) != len(rp) {
+			t.Fatalf("now=%v: pending %d vs %d", now, len(ip), len(rp))
+		}
+		for i := range ip {
+			if err := pmfBitwise(ip[i].PCT, rp[i].PCT); err != nil {
+				t.Fatalf("now=%v entry %d: %v", now, i, err)
+			}
+		}
+	}
+}

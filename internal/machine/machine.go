@@ -9,10 +9,25 @@
 // task is dropped from the middle of a queue, the PCTs of the tasks behind
 // it are recomputed from the machine's current state, shrinking their
 // compound uncertainty and raising their chance of success.
+//
+// PCT maintenance is incremental (the paper's Section V-A memoization taken
+// to its conclusion): the machine tracks the identity of the anchor
+// distribution its PCT chain is built on (anchorKey) and the length of the
+// valid prefix (validTo), so Enqueue appends one convolution, DropPending
+// reconvolves only from the first drop, and RefreshPCTs is a no-op whenever
+// conditioning the running task's completion on the current time yields the
+// same distribution as before. All chain arithmetic runs through the
+// in-place pmf kernel with machine-owned buffers recycled via a
+// pmf.Scratch, so steady-state operation does not allocate.
+//
+// Ownership: every *pmf.PMF reachable from a Machine (queue entry PCTs and
+// the results of LastPCT) is owned by the machine. Callers may read them
+// until the machine's next state-changing call, and must never mutate them.
 package machine
 
 import (
 	"fmt"
+	"math"
 
 	"prunesim/internal/pmf"
 	"prunesim/internal/task"
@@ -24,10 +39,41 @@ import (
 type PETLookup func(taskType int) *pmf.PMF
 
 // Entry is a mapped task waiting in a machine queue together with its
-// current PCT.
+// current PCT. The PCT is owned by the machine (see the package comment).
 type Entry struct {
 	Task *task.Task
 	PCT  *pmf.PMF
+}
+
+// anchorKind classifies the distribution a PCT chain is anchored on.
+type anchorKind uint8
+
+const (
+	// anchorNone marks an unknown anchor: the chain must be rebuilt before
+	// use.
+	anchorNone anchorKind = iota
+	// anchorRaw is the running task's unconditioned completion PMF.
+	anchorRaw
+	// anchorCond is the running task's completion PMF conditioned at a cut
+	// bin (the ConditionMin of baselinePCT).
+	anchorCond
+	// anchorTail is the all-tail distribution produced by conditioning past
+	// the end of a support that carries tail mass.
+	anchorTail
+	// anchorDelta is a point mass at a bin (idle machine, or conditioning
+	// past a tail-free support).
+	anchorDelta
+)
+
+// anchorKey identifies an anchor distribution exactly: two equal keys (for
+// one machine) always denote bitwise-identical anchors, so a chain built on
+// a matching key never needs reconvolution. bin carries the conditioning
+// cut or delta bin; bin2 disambiguates the rare conditioning branches that
+// collapse to a point mass at the query time rather than at the cut.
+type anchorKey struct {
+	kind      anchorKind
+	runID     int
+	bin, bin2 int
 }
 
 // Machine is one worker. It is not safe for concurrent use; the simulator
@@ -42,7 +88,34 @@ type Machine struct {
 	running           *task.Task
 	runningCompletion *pmf.PMF // absolute-time completion PMF of the running task
 	pending           []Entry
-	pctStale          bool // pending PCTs need recomputation (drop happened)
+
+	// Incremental-PCT state. Invariant: pending[:validTo] hold exactly the
+	// PCTs a full reconvolution from the anchor identified by chainKey
+	// would produce (bitwise).
+	chainKey anchorKey
+	validTo  int
+
+	// scratch recycles PMF buffers; nil means allocate (still correct).
+	scratch *pmf.Scratch
+
+	// anchorBuf caches the computed anchor distribution for anchorBufKey.
+	anchorBuf    *pmf.PMF
+	anchorBufKey anchorKey
+
+	// ver counts chain mutations; the caches below are valid only for
+	// their recorded version (plus, for an empty queue, anchor key).
+	ver uint64
+
+	meanOK  bool
+	meanVer uint64
+	meanKey anchorKey
+	mean    float64
+
+	chanceOK   bool
+	chanceVer  uint64
+	chanceKey  anchorKey
+	chanceType int
+	chancePCT  *pmf.PMF
 }
 
 // New constructs an idle machine of the given machine type.
@@ -55,6 +128,12 @@ func New(id, typeIdx int, lookup PETLookup, binWidth float64) *Machine {
 	}
 	return &Machine{id: id, typeIdx: typeIdx, pet: lookup, binWidth: binWidth}
 }
+
+// SetScratch attaches a buffer pool for the machine's PMF arithmetic. The
+// scratch may be shared by all machines of one simulation trial (they run
+// on one goroutine) but must not be shared across goroutines. A nil scratch
+// is valid and means plain allocation.
+func (m *Machine) SetScratch(s *pmf.Scratch) { m.scratch = s }
 
 // ID returns the machine's identifier.
 func (m *Machine) ID() int { return m.id }
@@ -81,38 +160,164 @@ func (m *Machine) QueueLen() int {
 	return n
 }
 
-// Pending returns the queue entries in FCFS order. The slice is shared;
-// callers must not mutate it.
+// Pending returns the queue entries in FCFS order. The slice and the entry
+// PCTs are owned by the machine: callers must not mutate them, and the
+// PCTs are valid only until the next state-changing call.
 func (m *Machine) Pending() []Entry {
 	m.refreshIfStale()
 	return m.pending
 }
 
-// baselinePCT is the distribution of the time at which the machine becomes
-// free, conditioned on what is known at time now.
-func (m *Machine) baselinePCT(now float64) *pmf.PMF {
+// bumpVer invalidates the derived-value caches after a chain mutation.
+func (m *Machine) bumpVer() {
+	m.ver++
+	m.meanOK = false
+	m.chanceOK = false
+}
+
+// anchorKeyAt returns the identity of the distribution baselinePCT(now)
+// would produce: the machine-free-time anchor of Eq. 1. Equal keys imply
+// bitwise-equal anchors, which is what lets RefreshPCTs skip reconvolution
+// when nothing observable changed.
+func (m *Machine) anchorKeyAt(now float64) anchorKey {
+	deltaBin := int(math.Round(now / m.binWidth))
 	if m.running == nil {
-		return pmf.Delta(now, m.binWidth)
+		return anchorKey{kind: anchorDelta, bin: deltaBin}
 	}
-	return m.runningCompletion.ConditionMin(now)
+	rc := m.runningCompletion
+	cut := int(math.Ceil(now/m.binWidth - 1e-9))
+	start := cut - rc.Origin()
+	switch {
+	case start <= 0:
+		// Conditioning keeps the whole support: the anchor is the raw
+		// completion PMF.
+		return anchorKey{kind: anchorRaw, runID: m.running.ID}
+	case start >= rc.NumBins():
+		if rc.Tail() > 0 {
+			return anchorKey{kind: anchorTail, runID: m.running.ID, bin: cut}
+		}
+		return anchorKey{kind: anchorDelta, bin: deltaBin}
+	default:
+		// The conditioned distribution depends only on cut — except in the
+		// degenerate no-mass-left branch, which collapses to a point mass
+		// at the query time; bin2 keeps the key exact there too.
+		return anchorKey{kind: anchorCond, runID: m.running.ID, bin: cut, bin2: deltaBin}
+	}
+}
+
+// anchorFor returns the anchor distribution for key, computing it into the
+// machine's cached anchor buffer when needed. now must be the time the key
+// was derived from. The result is machine-owned and read-only.
+func (m *Machine) anchorFor(key anchorKey, now float64) *pmf.PMF {
+	if key.kind == anchorRaw {
+		return m.runningCompletion
+	}
+	if m.anchorBuf != nil && m.anchorBufKey == key {
+		return m.anchorBuf
+	}
+	if m.anchorBuf == nil {
+		m.anchorBuf = m.scratch.Get()
+	}
+	if m.running != nil {
+		pmf.ConditionMinInto(m.anchorBuf, m.runningCompletion, now)
+	} else {
+		pmf.DeltaInto(m.anchorBuf, now, m.binWidth)
+	}
+	m.anchorBufKey = key
+	return m.anchorBuf
+}
+
+// reconvolve recomputes the PCTs of pending[start:] anchored on prev
+// (Eq. 1 applied down the queue), reusing each entry's buffer in place,
+// and marks the chain fully valid.
+func (m *Machine) reconvolve(start int, prev *pmf.PMF) {
+	for i := start; i < len(m.pending); i++ {
+		e := &m.pending[i]
+		e.PCT = pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type))
+		prev = e.PCT
+	}
+	m.validTo = len(m.pending)
+	if start < len(m.pending) {
+		m.bumpVer()
+	}
+}
+
+// refreshIfStale rebuilds PCT chains invalidated by start or completion
+// events. Anchoring uses the running task's completion distribution
+// unconditioned, so callers that need "as of now" precision should call
+// RefreshPCTs(now) explicitly; this fallback anchor is correct immediately
+// after the invalidating event.
+func (m *Machine) refreshIfStale() {
+	if m.validTo >= len(m.pending) {
+		return
+	}
+	start := m.validTo
+	var prev *pmf.PMF
+	switch {
+	case start > 0:
+		prev = m.pending[start-1].PCT
+	case m.running != nil:
+		m.chainKey = anchorKey{kind: anchorRaw, runID: m.running.ID}
+		prev = m.runningCompletion
+	default:
+		t := m.pending[0].Task.Arrival
+		m.chainKey = anchorKey{kind: anchorDelta, bin: int(math.Round(t / m.binWidth))}
+		prev = m.anchorFor(m.chainKey, t)
+	}
+	m.reconvolve(start, prev)
 }
 
 // LastPCT returns the completion-time PMF of the last task in the queue (or
 // the machine-free distribution if the queue is empty), evaluated at time
-// now. This is the left operand of Eq. 1 for an arriving task.
+// now. This is the left operand of Eq. 1 for an arriving task. The result
+// is machine-owned and read-only.
 func (m *Machine) LastPCT(now float64) *pmf.PMF {
 	m.refreshIfStale()
 	if n := len(m.pending); n > 0 {
 		return m.pending[n-1].PCT
 	}
-	return m.baselinePCT(now)
+	return m.anchorFor(m.anchorKeyAt(now), now)
 }
 
 // ExpectedReady returns the expected time at which all currently queued work
 // finishes — the scalar the deterministic heuristics (MCT, MM, ...) build
-// their expected completion times on.
+// their expected completion times on. The value is cached between queue
+// mutations because every heuristic scans every machine at every mapping
+// event.
 func (m *Machine) ExpectedReady(now float64) float64 {
-	return m.LastPCT(now).Mean()
+	m.refreshIfStale()
+	var akey anchorKey
+	if len(m.pending) == 0 {
+		akey = m.anchorKeyAt(now)
+	}
+	if m.meanOK && m.meanVer == m.ver && m.meanKey == akey {
+		return m.mean
+	}
+	v := m.LastPCT(now).Mean()
+	m.meanOK, m.meanVer, m.meanKey, m.mean = true, m.ver, akey, v
+	return v
+}
+
+// pctIfEnqueued returns the PCT a task of the given type would get if
+// appended now (Eq. 1). The result lives in the machine's chance buffer and
+// is cached so the ChanceIfEnqueued-then-Enqueue sequence every mapping
+// event performs convolves once, not twice.
+func (m *Machine) pctIfEnqueued(taskType int, p *pmf.PMF, now float64) *pmf.PMF {
+	var akey anchorKey
+	if len(m.pending) == 0 {
+		akey = m.anchorKeyAt(now)
+	}
+	if m.chanceOK && m.chanceVer == m.ver && m.chanceType == taskType &&
+		m.chanceKey == akey && m.chancePCT != nil {
+		return m.chancePCT
+	}
+	last := m.LastPCT(now)
+	if m.chancePCT == nil {
+		m.chancePCT = m.scratch.Get()
+	}
+	pmf.ConvolveInto(m.chancePCT, last, p)
+	m.chanceOK, m.chanceVer, m.chanceKey, m.chanceType = true, m.ver, akey, taskType
+	return m.chancePCT
 }
 
 // ChanceIfEnqueued returns the chance of success (Eq. 2) a task of the given
@@ -122,7 +327,7 @@ func (m *Machine) ChanceIfEnqueued(taskType int, deadline, now float64) float64 
 	if p == nil {
 		panic(fmt.Sprintf("machine %d: no PET for task type %d", m.id, taskType))
 	}
-	return m.LastPCT(now).Convolve(p).ProbLE(deadline)
+	return m.pctIfEnqueued(taskType, p, now).ProbLE(deadline)
 }
 
 // Enqueue maps a task onto this machine, computing its PCT per Eq. 1. The
@@ -132,10 +337,19 @@ func (m *Machine) Enqueue(t *task.Task, now float64) {
 	if p == nil {
 		panic(fmt.Sprintf("machine %d: no PET for task type %d", m.id, t.Type))
 	}
-	pct := m.LastPCT(now).Convolve(p)
+	pct := m.pctIfEnqueued(t.Type, p, now)
+	// The chance buffer becomes the entry's PCT; hand over ownership.
+	m.chancePCT = nil
+	m.chanceOK = false
+	if len(m.pending) == 0 {
+		// A fresh chain starts on the anchor the PCT was just built from.
+		m.chainKey = m.anchorKeyAt(now)
+	}
 	t.Status = task.StatusMachineQueued
 	t.Machine = m.id
 	m.pending = append(m.pending, Entry{Task: t, PCT: pct})
+	m.validTo = len(m.pending)
+	m.bumpVer()
 }
 
 // StartNext begins executing the head of the queue if the machine is idle.
@@ -147,17 +361,22 @@ func (m *Machine) StartNext(now float64) *task.Task {
 	if m.running != nil || len(m.pending) == 0 {
 		return nil
 	}
-	m.refreshIfStale()
 	head := m.pending[0]
 	copy(m.pending, m.pending[1:])
+	m.pending[len(m.pending)-1] = Entry{}
 	m.pending = m.pending[:len(m.pending)-1]
 	m.running = head.Task
 	m.running.Status = task.StatusRunning
 	m.running.Start = now
 	// The scheduler's belief about the completion time: start + PET.
-	m.runningCompletion = pmf.Delta(now, m.binWidth).Convolve(m.pet(head.Task.Type))
+	d := pmf.DeltaInto(m.scratch.Get(), now, m.binWidth)
+	m.runningCompletion = pmf.ConvolveInto(m.scratch.Get(), d, m.pet(head.Task.Type))
+	m.scratch.Put(d)
+	m.scratch.Put(head.PCT)
 	// Remaining pending PCTs are now anchored on the new running task.
-	m.pctStale = true
+	m.chainKey = anchorKey{kind: anchorRaw, runID: m.running.ID}
+	m.validTo = 0
+	m.bumpVer()
 	return m.running
 }
 
@@ -175,8 +394,11 @@ func (m *Machine) Complete(now float64) *task.Task {
 		t.Status = task.StatusCompletedLate
 	}
 	m.running = nil
+	m.scratch.Put(m.runningCompletion)
 	m.runningCompletion = nil
-	m.pctStale = true
+	m.chainKey = anchorKey{}
+	m.validTo = 0
+	m.bumpVer()
 	return t
 }
 
@@ -188,10 +410,10 @@ func (m *Machine) Complete(now float64) *task.Task {
 // caller decides between reactive and proactive drop accounting.
 //
 // shouldDrop sees each entry's PCT reflecting any drops already made ahead
-// of it. Entries ahead of the first drop keep their memoized PCTs (the
-// paper's Section V-A notes memoization of partial convolution results keeps
-// the pruner's overhead negligible; a sweep that drops nothing performs no
-// convolutions at all).
+// of it, and must not call back into the machine. Entries ahead of the
+// first drop keep their memoized PCTs (the paper's Section V-A notes
+// memoization of partial convolution results keeps the pruner's overhead
+// negligible; a sweep that drops nothing performs no convolutions at all).
 func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*task.Task {
 	if len(m.pending) == 0 {
 		return nil
@@ -203,7 +425,7 @@ func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*tas
 	kept := m.pending[:0]
 	for _, e := range m.pending {
 		if dirty {
-			e.PCT = prev.Convolve(m.pet(e.Task.Type))
+			e.PCT = pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type))
 		}
 		if shouldDrop(e) {
 			if !dirty {
@@ -211,11 +433,14 @@ func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*tas
 				if len(kept) > 0 {
 					prev = kept[len(kept)-1].PCT
 				} else {
-					prev = m.baselinePCT(now)
+					key := m.anchorKeyAt(now)
+					prev = m.anchorFor(key, now)
+					m.chainKey = key
 				}
 			}
 			e.Task.Machine = m.id // preserved for accounting
 			dropped = append(dropped, e.Task)
+			m.scratch.Put(e.PCT)
 			continue
 		}
 		kept = append(kept, e)
@@ -228,46 +453,36 @@ func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*tas
 		m.pending[i] = Entry{}
 	}
 	m.pending = kept
+	m.validTo = len(kept)
+	if dirty {
+		m.bumpVer()
+	}
 	return dropped
 }
 
-// RefreshPCTs recomputes all pending PCTs anchored at time now. Mapping
+// RefreshPCTs recomputes the pending PCTs anchored at time now. Mapping
 // events call this before chance-of-success queries so estimates reflect the
-// machine's actual progress.
+// machine's actual progress. The work is incremental: when the anchor at
+// now is identical to the one the chain was built on, only entries past the
+// valid prefix are reconvolved — often none at all.
 func (m *Machine) RefreshPCTs(now float64) {
-	prev := m.baselinePCT(now)
-	for i := range m.pending {
-		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
-		m.pending[i].PCT = pct
-		prev = pct
-	}
-	m.pctStale = false
-}
-
-// refreshIfStale rebuilds PCT chains invalidated by drops or start events.
-// Anchoring uses the running task's conditioned completion distribution, so
-// callers that need "as of now" precision should call RefreshPCTs(now)
-// explicitly; this fallback anchors at the unconditioned distribution, which
-// is correct immediately after the invalidating event.
-func (m *Machine) refreshIfStale() {
-	if !m.pctStale {
+	key := m.anchorKeyAt(now)
+	if key == m.chainKey && m.validTo == len(m.pending) {
 		return
+	}
+	start := 0
+	if key == m.chainKey {
+		start = m.validTo
+	} else {
+		m.chainKey = key
 	}
 	var prev *pmf.PMF
-	if m.running != nil {
-		prev = m.runningCompletion
-	} else if len(m.pending) > 0 {
-		prev = pmf.Delta(m.pending[0].Task.Arrival, m.binWidth)
+	if start > 0 {
+		prev = m.pending[start-1].PCT
 	} else {
-		m.pctStale = false
-		return
+		prev = m.anchorFor(key, now)
 	}
-	for i := range m.pending {
-		pct := prev.Convolve(m.pet(m.pending[i].Task.Type))
-		m.pending[i].PCT = pct
-		prev = pct
-	}
-	m.pctStale = false
+	m.reconvolve(start, prev)
 }
 
 // String summarizes the machine state.

@@ -1,0 +1,87 @@
+package pmf
+
+import (
+	"testing"
+
+	"prunesim/internal/randx"
+)
+
+// benchPMF builds a deterministic n-bin PMF resembling a PET matrix entry.
+func benchPMF(n int, seed uint64) *PMF {
+	rng := randx.New(seed)
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = rng.Float64() + 1e-3
+	}
+	return New(2, 1, masses, 0)
+}
+
+// BenchmarkConvolve measures the convolution kernel — the simulator's
+// single hottest operation (Eq. 1). The chained variant mirrors how a
+// machine queue compounds PCTs and must run allocation-free in steady
+// state via the scratch pool.
+func BenchmarkConvolve(b *testing.B) {
+	b.Run("small", func(b *testing.B) {
+		x := benchPMF(8, 1)
+		y := benchPMF(12, 2)
+		s := GetScratch()
+		defer PutScratch(s)
+		dst := s.Get()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = ConvolveInto(dst, x, y)
+		}
+	})
+	b.Run("large", func(b *testing.B) {
+		x := benchPMF(256, 3)
+		y := benchPMF(384, 4)
+		s := GetScratch()
+		defer PutScratch(s)
+		dst := s.Get()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = ConvolveInto(dst, x, y)
+		}
+	})
+	// chained compounds a 6-deep PCT chain per iteration, recycling every
+	// intermediate through one Scratch — steady state must be 0 allocs/op.
+	b.Run("chained", func(b *testing.B) {
+		pets := []*PMF{benchPMF(16, 5), benchPMF(24, 6), benchPMF(12, 7),
+			benchPMF(20, 8), benchPMF(16, 9), benchPMF(28, 10)}
+		anchor := Delta(3, 1)
+		s := GetScratch()
+		defer PutScratch(s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			prev := anchor
+			for _, p := range pets {
+				next := ConvolveInto(s.Get(), prev, p)
+				if prev != anchor {
+					s.Put(prev)
+				}
+				prev = next
+			}
+			last = prev.Mean()
+			s.Put(prev)
+		}
+		b.ReportMetric(last, "chain_mean")
+	})
+}
+
+// BenchmarkConditionMin measures the queue-anchor conditioning operation
+// performed on every machine refresh.
+func BenchmarkConditionMin(b *testing.B) {
+	d := benchPMF(64, 11)
+	s := GetScratch()
+	defer PutScratch(s)
+	dst := s.Get()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ConditionMinInto(dst, d, 20)
+	}
+}

@@ -1,0 +1,217 @@
+package pmf
+
+import "math"
+
+// This file holds the destination-passing ("Into") and in-place variants of
+// the PMF algebra. They are the allocation-free core the simulator's hot
+// loop runs on; the immutable methods in pmf.go are thin wrappers over them,
+// which guarantees the two paths produce bitwise-identical results (a
+// property the tests assert).
+//
+// Ownership rules (see also DESIGN.md, "Performance"):
+//
+//   - A destination PMF must not alias either operand; the functions panic
+//     on aliasing because the result would silently corrupt.
+//   - PMFs obtained from a Scratch are valid only as destinations until an
+//     Into-operation has filled them.
+//   - Into-functions accept a nil destination and then allocate, so
+//     callers without a buffer to reuse lose nothing.
+
+// resize returns p with length n, reusing capacity when possible. The
+// contents are unspecified.
+func resize(p []float64, n int) []float64 {
+	if cap(p) >= n {
+		return p[:n]
+	}
+	return make([]float64, n)
+}
+
+// ConvolveInto computes the distribution of X + Y for independent a and b
+// into dst (Eq. 1), reusing dst's storage, and returns dst. dst may be nil,
+// in which case a fresh PMF is allocated; it must not alias a or b.
+func ConvolveInto(dst, a, b *PMF) *PMF {
+	return ConvolveMaxInto(dst, a, b, DefaultMaxBins)
+}
+
+// ConvolveMaxInto is ConvolveInto with an explicit cap on the number of
+// result bins; overflow folds into the tail bucket.
+func ConvolveMaxInto(dst, a, b *PMF, maxBins int) *PMF {
+	if a.width != b.width {
+		panic("pmf: Convolve requires equal bin widths")
+	}
+	if maxBins < 1 {
+		panic("pmf: Convolve requires maxBins >= 1")
+	}
+	if dst == a || dst == b {
+		panic("pmf: ConvolveMaxInto destination must not alias an operand")
+	}
+	if dst == nil {
+		dst = &PMF{}
+	}
+	n := len(a.p) + len(b.p) - 1
+	keep := n
+	if keep > maxBins {
+		keep = maxBins
+	}
+	out := resize(dst.p, keep)
+	for i := range out {
+		out[i] = 0
+	}
+	tail := a.tail + b.tail - a.tail*b.tail
+	for i, av := range a.p {
+		if av == 0 {
+			continue
+		}
+		// Split the inner loop at the truncation horizon: bins below it
+		// accumulate into the result, bins at or beyond it into the tail.
+		// Within one row both accumulations run in ascending j, preserving
+		// the exact floating-point summation order of the immutable path.
+		jmax := keep - i
+		if jmax > len(b.p) {
+			jmax = len(b.p)
+		}
+		if jmax > 0 {
+			row := out[i : i+jmax]
+			bp := b.p[:jmax]
+			for j, bv := range bp {
+				row[j] += av * bv
+			}
+		} else {
+			jmax = 0
+		}
+		for _, bv := range b.p[jmax:] {
+			tail += av * bv
+		}
+	}
+	dst.origin = a.origin + b.origin
+	dst.width = a.width
+	dst.p = out
+	dst.tail = tail
+	return dst
+}
+
+// ShiftInPlace translates d by t time units (rounded to whole bins) and
+// returns d. It never allocates.
+func (d *PMF) ShiftInPlace(t float64) *PMF {
+	d.origin += int(math.Round(t / d.width))
+	return d
+}
+
+// ConditionMinInPlace conditions d on X >= t in place and returns d: the
+// remaining completion-time distribution of a task known to be unfinished
+// at time t. Mass strictly before t is removed and the remainder
+// renormalized; if no mass remains at or after t, d becomes a point mass at
+// t. It never allocates.
+func (d *PMF) ConditionMinInPlace(t float64) *PMF {
+	cut := int(math.Ceil(t/d.width - 1e-9)) // first absolute bin index kept
+	start := cut - d.origin
+	if start <= 0 {
+		return d
+	}
+	if start >= len(d.p) {
+		if d.tail > 0 {
+			d.origin = cut
+			d.p = d.p[:1]
+			d.p[0] = 0
+			d.tail = 1
+			return d
+		}
+		return d.becomeDelta(t)
+	}
+	total := d.tail
+	for _, m := range d.p[start:] {
+		total += m
+	}
+	if total <= massEps {
+		return d.becomeDelta(t)
+	}
+	n := copy(d.p, d.p[start:])
+	d.p = d.p[:n]
+	for i := range d.p {
+		d.p[i] /= total
+	}
+	d.origin = cut
+	d.tail /= total
+	return d
+}
+
+// ConditionMinInto writes the conditioning of src on X >= t into dst and
+// returns dst, leaving src untouched. dst may be nil (allocates) or src
+// itself (delegates to ConditionMinInPlace).
+func ConditionMinInto(dst, src *PMF, t float64) *PMF {
+	if dst == src {
+		return src.ConditionMinInPlace(t)
+	}
+	if dst == nil {
+		dst = &PMF{}
+	}
+	cut := int(math.Ceil(t/src.width - 1e-9))
+	start := cut - src.origin
+	if start <= 0 {
+		return CopyInto(dst, src)
+	}
+	dst.width = src.width
+	if start >= len(src.p) {
+		if src.tail > 0 {
+			dst.origin = cut
+			dst.p = resize(dst.p, 1)
+			dst.p[0] = 0
+			dst.tail = 1
+			return dst
+		}
+		return dst.becomeDelta(t)
+	}
+	total := src.tail
+	for _, m := range src.p[start:] {
+		total += m
+	}
+	if total <= massEps {
+		return dst.becomeDelta(t)
+	}
+	dst.p = resize(dst.p, len(src.p)-start)
+	for i, m := range src.p[start:] {
+		dst.p[i] = m / total
+	}
+	dst.origin = cut
+	dst.tail = src.tail / total
+	return dst
+}
+
+// DeltaInto writes a point mass at time t (rounded to the nearest bin of
+// the given width) into dst and returns dst. dst may be nil.
+func DeltaInto(dst *PMF, t, width float64) *PMF {
+	if width <= 0 {
+		panic("pmf: bin width must be positive")
+	}
+	if dst == nil {
+		dst = &PMF{}
+	}
+	dst.width = width
+	return dst.becomeDelta(t)
+}
+
+// becomeDelta rewrites d as a point mass at t, keeping d's width.
+func (d *PMF) becomeDelta(t float64) *PMF {
+	d.origin = int(math.Round(t / d.width))
+	d.p = resize(d.p, 1)
+	d.p[0] = 1
+	d.tail = 0
+	return d
+}
+
+// CopyInto makes dst a copy of src, reusing dst's storage, and returns dst.
+// dst may be nil.
+func CopyInto(dst, src *PMF) *PMF {
+	if dst == src {
+		return dst
+	}
+	if dst == nil {
+		dst = &PMF{}
+	}
+	dst.origin = src.origin
+	dst.width = src.width
+	dst.tail = src.tail
+	dst.p = resize(dst.p, len(src.p))
+	copy(dst.p, src.p)
+	return dst
+}

@@ -224,45 +224,21 @@ func (d *PMF) Quantile(q float64) float64 {
 // bin width; both operands must share the same width. Tail mass composes:
 // any mass pair involving a tail stays in the tail. The support is capped at
 // DefaultMaxBins with overflow folded into the tail.
+//
+// Convolve allocates its result; the hot path uses ConvolveInto with a
+// Scratch buffer instead. Both produce bitwise-identical results.
 func (d *PMF) Convolve(o *PMF) *PMF {
-	return d.ConvolveMax(o, DefaultMaxBins)
+	return ConvolveMaxInto(nil, d, o, DefaultMaxBins)
 }
 
 // ConvolveMax is Convolve with an explicit cap on the number of result bins.
 func (d *PMF) ConvolveMax(o *PMF, maxBins int) *PMF {
-	if d.width != o.width {
-		panic("pmf: Convolve requires equal bin widths")
-	}
-	if maxBins < 1 {
-		panic("pmf: Convolve requires maxBins >= 1")
-	}
-	n := len(d.p) + len(o.p) - 1
-	tail := d.tail + o.tail - d.tail*o.tail
-	keep := n
-	if keep > maxBins {
-		keep = maxBins
-	}
-	out := make([]float64, keep)
-	for i, a := range d.p {
-		if a == 0 {
-			continue
-		}
-		for j, b := range o.p {
-			k := i + j
-			if k < keep {
-				out[k] += a * b
-			} else {
-				tail += a * b
-			}
-		}
-	}
-	return &PMF{origin: d.origin + o.origin, width: d.width, p: out, tail: tail}
+	return ConvolveMaxInto(nil, d, o, maxBins)
 }
 
 // Shift returns the PMF translated by t time units (rounded to whole bins).
 func (d *PMF) Shift(t float64) *PMF {
-	k := int(math.Round(t / d.width))
-	return &PMF{origin: d.origin + k, width: d.width, p: append([]float64(nil), d.p...), tail: d.tail}
+	return d.Clone().ShiftInPlace(t)
 }
 
 // ConditionMin returns the distribution conditioned on X >= t, i.e. the
@@ -271,29 +247,7 @@ func (d *PMF) Shift(t float64) *PMF {
 // renormalized. If no mass remains at or after t, a point mass at t is
 // returned (the task is due to finish "now").
 func (d *PMF) ConditionMin(t float64) *PMF {
-	cut := int(math.Ceil(t/d.width - 1e-9)) // first absolute bin index kept
-	start := cut - d.origin
-	if start <= 0 {
-		return d.Clone()
-	}
-	if start >= len(d.p) {
-		if d.tail > 0 {
-			return &PMF{origin: cut, width: d.width, p: []float64{0}, tail: 1}
-		}
-		return Delta(t, d.width)
-	}
-	kept := append([]float64(nil), d.p[start:]...)
-	total := d.tail
-	for _, m := range kept {
-		total += m
-	}
-	if total <= massEps {
-		return Delta(t, d.width)
-	}
-	for i := range kept {
-		kept[i] /= total
-	}
-	return &PMF{origin: cut, width: d.width, p: kept, tail: d.tail / total}
+	return ConditionMinInto(nil, d, t)
 }
 
 // Sample draws a variate by inverse-CDF sampling over the bins, with uniform

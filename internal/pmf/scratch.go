@@ -1,0 +1,64 @@
+package pmf
+
+import "sync"
+
+// Scratch is a free list of PMF buffers for allocation-free chains of
+// Into-style operations: Get a destination, fill it, Put it back when the
+// value is no longer needed. In steady state every Get is served from the
+// free list and the whole chain performs zero heap allocations (the
+// BenchmarkConvolve/chained invariant the CI bench gate enforces).
+//
+// A Scratch is NOT safe for concurrent use. The intended pattern — used by
+// internal/sim — is one Scratch per simulation trial, obtained from the
+// shared pool via GetScratch and returned with PutScratch, so parallel
+// sweep workers recycle buffers across trials without contention.
+//
+// A nil *Scratch is valid: Get allocates fresh PMFs and Put discards, so
+// code threaded with an optional scratch needs no nil checks.
+type Scratch struct {
+	free []*PMF
+}
+
+// Get returns a PMF whose storage may be reused. The contents are
+// unspecified: the result is only valid as the destination of an
+// Into-operation (ConvolveInto, ConditionMinInto, DeltaInto, CopyInto).
+func (s *Scratch) Get() *PMF {
+	if s == nil || len(s.free) == 0 {
+		return &PMF{}
+	}
+	d := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return d
+}
+
+// Put recycles d's storage. The caller must not use d afterwards — a later
+// Get may hand the same buffer to other code. Putting nil is a no-op.
+func (s *Scratch) Put(d *PMF) {
+	if s == nil || d == nil {
+		return
+	}
+	s.free = append(s.free, d)
+}
+
+// Len reports how many buffers are currently free (for tests and metrics).
+func (s *Scratch) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.free)
+}
+
+// scratchPool shares Scratch instances — and, transitively, their PMF
+// buffers — across simulation trials and service requests.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch fetches a Scratch from the process-wide pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the pool. The caller must have dropped
+// every PMF reference that points into it.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}

@@ -23,7 +23,8 @@ func (*MM) Name() string { return "MM" }
 // Map implements Batch.
 func (*MM) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	v := newVirtualState(ctx)
-	remaining := append([]*task.Task(nil), unmapped...)
+	defer v.release()
+	remaining := v.tasks(unmapped)
 	var out []Assignment
 	for v.total > 0 && len(remaining) > 0 {
 		bestI, bestJ, bestC := -1, -1, math.Inf(1)
@@ -103,44 +104,52 @@ func mapPerMachineRounds(ctx *Context, unmapped []*task.Task,
 	key func(t *task.Task, completion float64) (primary, secondary float64)) []Assignment {
 
 	v := newVirtualState(ctx)
-	remaining := append([]*task.Task(nil), unmapped...)
+	defer v.release()
+	remaining := v.tasks(unmapped)
+	v.roundBuffers(len(ctx.Machines), len(remaining))
 	var out []Assignment
-	type pick struct {
-		taskIdx            int
-		primary, secondary float64
-	}
 	for v.total > 0 && len(remaining) > 0 {
-		// Phase 1: nominate the min-completion machine per task.
-		picks := make(map[int]pick) // machine -> best nominee so far
+		v.round++
+		round := v.round
+		// Phase 1: nominate the min-completion machine per task. A task
+		// nominates exactly one machine, so every machine ends up with at
+		// most one committed nominee per round.
+		for j := range v.picks {
+			v.picks[j].taskIdx = -1
+		}
+		nominated := false
 		for i, t := range remaining {
 			j, c := v.bestMachine(ctx, t)
 			if j < 0 {
 				continue
 			}
 			p1, p2 := key(t, c)
-			cur, ok := picks[j]
-			if !ok || p1 < cur.primary || (p1 == cur.primary && p2 < cur.secondary) {
-				picks[j] = pick{taskIdx: i, primary: p1, secondary: p2}
+			cur := &v.picks[j]
+			if cur.taskIdx < 0 || p1 < cur.primary || (p1 == cur.primary && p2 < cur.secondary) {
+				cur.taskIdx, cur.primary, cur.secondary = i, p1, p2
 			}
+			nominated = true
 		}
-		if len(picks) == 0 {
+		if !nominated {
 			break
 		}
 		// Phase 2: commit one pick per machine, in machine order for
-		// determinism. Collect indices first; removal invalidates them, so
-		// commit by task pointer.
-		chosen := make(map[*task.Task]int)
-		for j := range ctx.Machines {
-			if p, ok := picks[j]; ok {
-				chosen[remaining[p.taskIdx]] = j
+		// determinism. Committed candidate indices are stamped with the
+		// round number; stale stamps from earlier rounds never match.
+		for j := range v.picks {
+			if i := v.picks[j].taskIdx; i >= 0 {
+				v.chosenStamp[i] = round
+				v.chosenMach[i] = int32(j)
 			}
 		}
 		kept := remaining[:0]
-		for _, t := range remaining {
-			if j, ok := chosen[t]; ok && v.free[j] > 0 {
-				out = append(out, Assignment{Task: t, Machine: j})
-				v.assign(ctx, t, j)
-				continue
+		for i, t := range remaining {
+			if v.chosenStamp[i] == round {
+				if j := int(v.chosenMach[i]); v.free[j] > 0 {
+					out = append(out, Assignment{Task: t, Machine: j})
+					v.assign(ctx, t, j)
+					continue
+				}
 			}
 			kept = append(kept, t)
 		}

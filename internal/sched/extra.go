@@ -50,7 +50,8 @@ func (*MaxMin) Name() string { return "MaxMin" }
 // Map implements Batch.
 func (*MaxMin) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	v := newVirtualState(ctx)
-	remaining := append([]*task.Task(nil), unmapped...)
+	defer v.release()
+	remaining := v.tasks(unmapped)
 	var out []Assignment
 	for v.total > 0 && len(remaining) > 0 {
 		bestI, bestJ, bestC := -1, -1, math.Inf(-1)

@@ -23,7 +23,8 @@ func (*FCFSRR) Name() string { return "FCFS-RR" }
 // Map implements Batch.
 func (f *FCFSRR) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	v := newVirtualState(ctx)
-	queue := append([]*task.Task(nil), unmapped...)
+	defer v.release()
+	queue := v.tasks(unmapped)
 	sortTasksByArrival(queue)
 	n := len(ctx.Machines)
 	var out []Assignment
@@ -63,9 +64,7 @@ func (*EDF) Name() string { return "EDF" }
 
 // Map implements Batch.
 func (*EDF) Map(ctx *Context, unmapped []*task.Task) []Assignment {
-	queue := append([]*task.Task(nil), unmapped...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Deadline < queue[j].Deadline })
-	return assignInOrder(ctx, queue)
+	return assignSorted(ctx, unmapped, func(a, b *task.Task) bool { return a.Deadline < b.Deadline })
 }
 
 // SJF is Shortest Job First: the arrival queue is sorted by expected
@@ -81,19 +80,20 @@ func (*SJF) Name() string { return "SJF" }
 
 // Map implements Batch.
 func (*SJF) Map(ctx *Context, unmapped []*task.Task) []Assignment {
-	queue := append([]*task.Task(nil), unmapped...)
 	// On a homogeneous system the expected execution time is
 	// machine-independent; use machine 0's column.
-	sort.SliceStable(queue, func(i, j int) bool {
-		return ctx.MeanExec(queue[i].Type, 0) < ctx.MeanExec(queue[j].Type, 0)
+	return assignSorted(ctx, unmapped, func(a, b *task.Task) bool {
+		return ctx.MeanExec(a.Type, 0) < ctx.MeanExec(b.Type, 0)
 	})
-	return assignInOrder(ctx, queue)
 }
 
-// assignInOrder maps tasks in the given order, each to the machine with the
-// minimum expected completion time, until slots run out.
-func assignInOrder(ctx *Context, queue []*task.Task) []Assignment {
+// assignSorted maps tasks in the order induced by less, each to the machine
+// with the minimum expected completion time, until slots run out.
+func assignSorted(ctx *Context, unmapped []*task.Task, less func(a, b *task.Task) bool) []Assignment {
 	v := newVirtualState(ctx)
+	defer v.release()
+	queue := v.tasks(unmapped)
+	sort.SliceStable(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
 	var out []Assignment
 	for _, t := range queue {
 		if v.total <= 0 {

@@ -80,6 +80,7 @@ func (*MCT) Pick(ctx *Context, t *task.Task) int {
 // for the arriving task's type.
 type KPB struct {
 	percent float64
+	order   []int // reusable machine-ranking buffer (one Pick at a time)
 }
 
 // NewKPB returns a KPB heuristic keeping the given percentage of machines
@@ -105,7 +106,10 @@ func (k *KPB) Pick(ctx *Context, t *task.Task) int {
 		keep = n
 	}
 	// Rank machines by expected execution time for this task type.
-	order := make([]int, n)
+	if cap(k.order) < n {
+		k.order = make([]int, n)
+	}
+	order := k.order[:n]
 	for j := range order {
 		order[j] = j
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"prunesim/internal/machine"
 	"prunesim/internal/task"
@@ -67,27 +68,86 @@ type Immediate interface {
 }
 
 // virtualState tracks expected machine readiness while a batch heuristic
-// builds its provisional mapping.
+// builds its provisional mapping. Instances are pooled and carry reusable
+// buffers, so a mapping event in steady state allocates nothing but its
+// returned assignments: heuristics acquire one with newVirtualState and
+// release it when the Map call finishes.
 type virtualState struct {
 	ready []float64
 	free  []int
 	total int
+
+	// remaining is the reusable working copy of the unmapped tasks (see
+	// tasks). picks, chosenMach and chosenStamp are the per-round nominee
+	// table and committed-task markers of mapPerMachineRounds; round is the
+	// monotonically increasing stamp that makes stale markers harmless
+	// across rounds, Map calls and pool reuses.
+	remaining   []*task.Task
+	picks       []pick
+	chosenMach  []int32
+	chosenStamp []int64
+	round       int64
 }
 
+// pick is one machine's best nominee within a mapping round.
+type pick struct {
+	taskIdx            int
+	primary, secondary float64
+}
+
+// vsPool recycles virtualState buffers across mapping events and trials.
+var vsPool = sync.Pool{New: func() any { return new(virtualState) }}
+
 func newVirtualState(ctx *Context) *virtualState {
-	v := &virtualState{
-		ready: make([]float64, len(ctx.Machines)),
-		free:  make([]int, len(ctx.Machines)),
+	v := vsPool.Get().(*virtualState)
+	n := len(ctx.Machines)
+	if cap(v.ready) < n {
+		v.ready = make([]float64, n)
+		v.free = make([]int, n)
 	}
+	v.ready = v.ready[:n]
+	v.free = v.free[:n]
+	v.total = 0
 	for j, m := range ctx.Machines {
 		v.ready[j] = m.ExpectedReady(ctx.Now)
-		v.free[j] = ctx.freeSlots(j)
-		if v.free[j] < 0 {
-			v.free[j] = 0
+		f := ctx.freeSlots(j)
+		if f < 0 {
+			f = 0
 		}
-		v.total += v.free[j]
+		v.free[j] = f
+		v.total += f
 	}
 	return v
+}
+
+// release returns v to the pool. The caller must drop every reference into
+// v's buffers first.
+func (v *virtualState) release() {
+	v.remaining = v.remaining[:0]
+	vsPool.Put(v)
+}
+
+// tasks fills and returns v's reusable working copy of ts.
+func (v *virtualState) tasks(ts []*task.Task) []*task.Task {
+	if cap(v.remaining) < len(ts) {
+		v.remaining = make([]*task.Task, 0, len(ts))
+	}
+	v.remaining = append(v.remaining[:0], ts...)
+	return v.remaining
+}
+
+// roundBuffers sizes the mapPerMachineRounds working arrays.
+func (v *virtualState) roundBuffers(nMachines, nTasks int) {
+	if cap(v.picks) < nMachines {
+		v.picks = make([]pick, nMachines)
+	}
+	v.picks = v.picks[:nMachines]
+	if cap(v.chosenMach) < nTasks {
+		v.chosenMach = make([]int32, nTasks)
+		v.chosenStamp = make([]int64, nTasks)
+	}
+	v.chosenMach = v.chosenMach[:nTasks]
+	v.chosenStamp = v.chosenStamp[:nTasks]
 }
 
 func (v *virtualState) assign(ctx *Context, t *task.Task, j int) {

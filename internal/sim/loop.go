@@ -3,6 +3,7 @@ package sim
 import (
 	"prunesim/internal/eventq"
 	"prunesim/internal/machine"
+	"prunesim/internal/pmf"
 	"prunesim/internal/randx"
 	"prunesim/internal/sched"
 	"prunesim/internal/task"
@@ -29,6 +30,19 @@ func (s *simulator) emitChance(kind TraceKind, t *task.Task, mach int, onTime bo
 }
 
 func (s *simulator) run() (*Result, error) {
+	// Borrow a PMF buffer pool for the whole trial: every convolution of
+	// every machine reuses buffers, and sweeps recycle them across trials.
+	s.scratch = pmf.GetScratch()
+	defer func() {
+		for _, m := range s.machines {
+			m.SetScratch(nil)
+		}
+		pmf.PutScratch(s.scratch)
+		s.scratch = nil
+	}()
+	for _, m := range s.machines {
+		m.SetScratch(s.scratch)
+	}
 	for _, t := range s.tasks {
 		t.Status = task.StatusUnarrived
 		t.Machine = -1
@@ -159,18 +173,21 @@ func (s *simulator) batchMap() {
 		return
 	}
 	ctx := s.schedCtx()
-	skip := make(map[int]bool) // task ID -> deferred or enqueued this event
+	// Tasks whose skipMark equals the current mapping-event number were
+	// already deferred or enqueued within this event.
+	mark := s.res.MappingEvents
 	enqueued := 0
 	for {
 		if s.totalFreeSlots() == 0 {
 			break
 		}
-		avail := make([]*task.Task, 0, len(s.batch))
+		avail := s.availBuf[:0]
 		for _, t := range s.batch {
-			if !skip[t.ID] {
+			if s.skipMark[t.ID] != mark {
 				avail = append(avail, t)
 			}
 		}
+		s.availBuf = avail
 		if len(avail) == 0 {
 			break
 		}
@@ -186,12 +203,12 @@ func (s *simulator) batchMap() {
 				s.res.Deferrals++
 				s.pruner.RecordDeferral(a.Task.Type)
 				s.emitChance(TraceDeferred, a.Task, a.Machine, false, chance)
-				skip[a.Task.ID] = true
+				s.skipMark[a.Task.ID] = mark
 				continue
 			}
 			m.Enqueue(a.Task, s.now)
 			s.emitChance(TraceMapped, a.Task, a.Machine, false, chance)
-			skip[a.Task.ID] = true
+			s.skipMark[a.Task.ID] = mark
 			enqueued++
 		}
 	}
@@ -239,19 +256,11 @@ func (s *simulator) sampleDuration(t *task.Task, m *machine.Machine) float64 {
 	return dur
 }
 
+// schedCtx returns the heuristic context for the current event. The context
+// is built once per simulation (only Now changes between events).
 func (s *simulator) schedCtx() *sched.Context {
-	slots := s.cfg.Slots
-	if s.cfg.Mode == ImmediateMode {
-		slots = 0 // unbounded machine queues
-	}
-	return &sched.Context{
-		Now:      s.now,
-		Machines: s.machines,
-		MeanExec: func(taskType, machineID int) float64 {
-			return s.matrix.MeanExec(taskType, s.machines[machineID].TypeIndex())
-		},
-		Slots: slots,
-	}
+	s.ctx.Now = s.now
+	return &s.ctx
 }
 
 func (s *simulator) totalFreeSlots() int {

@@ -217,6 +217,17 @@ type simulator struct {
 	events   eventq.Queue
 	now      float64
 
+	// scratch recycles PMF buffers across every convolution of the trial;
+	// it is borrowed from the process-wide pool for the duration of run().
+	scratch *pmf.Scratch
+	// ctx is the reusable heuristic context (only Now changes per event).
+	ctx sched.Context
+	// skipMark[taskID] == res.MappingEvents marks tasks already deferred or
+	// enqueued within the current mapping event (replaces a per-event map).
+	skipMark []int
+	// availBuf is the reusable unmapped-candidates buffer for batchMap.
+	availBuf []*task.Task
+
 	res Result
 }
 
@@ -272,6 +283,18 @@ func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulato
 		s.machines[j] = machine.New(j, mt, func(taskType int) *pmf.PMF {
 			return matrix.PET(taskType, mt)
 		}, matrix.BinWidth())
+	}
+	s.skipMark = make([]int, len(tasks))
+	slots := cfg.Slots
+	if cfg.Mode == ImmediateMode {
+		slots = 0 // unbounded machine queues
+	}
+	s.ctx = sched.Context{
+		Machines: s.machines,
+		MeanExec: func(taskType, machineID int) float64 {
+			return matrix.MeanExec(taskType, s.machines[machineID].TypeIndex())
+		},
+		Slots: slots,
 	}
 	return s, nil
 }

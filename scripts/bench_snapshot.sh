@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Capture the hot-path benchmark snapshot that the CI bench-regression gate
+# compares against the committed BENCH_baseline.json.
+#
+# Usage: scripts/bench_snapshot.sh [out.json]     (default BENCH_head.json)
+#
+# To re-baseline after an intentional perf change (see DESIGN.md,
+# "Performance"):
+#
+#   scripts/bench_snapshot.sh BENCH_baseline.json
+#
+# and commit the refreshed file with the PR.
+set -euo pipefail
+out="${1:-BENCH_head.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Kernel microbenchmarks (pmf convolution, machine PCT maintenance): the
+# per-op cost is nanoseconds to microseconds, so a fixed iteration count
+# would be timer noise — use a time-based benchtime for a stable estimate.
+go test -json -run '^$' -bench 'Convolve|Machine' -benchtime 200ms -count 3 \
+  -benchmem ./internal/... > "$tmp/micro.jsonl"
+
+# End-to-end sweep benchmarks: one op is a full RunFigure sweep (hundreds
+# of milliseconds), so 100 fixed iterations are both stable and bounded.
+go test -json -run '^$' -bench 'Figure' -benchtime 100x -count 3 \
+  -benchmem . > "$tmp/figure.jsonl"
+
+go run ./cmd/benchdiff parse -o "$out" "$tmp/micro.jsonl" "$tmp/figure.jsonl"
