@@ -60,7 +60,11 @@ func BenchmarkFig6SpikyWorkload(b *testing.B) {
 	var n int
 	for i := 0; i < b.N; i++ {
 		cfg.Trial = i
-		n = len(prunesim.GenerateWorkload(matrix, cfg))
+		tasks, err := prunesim.GenerateWorkload(matrix, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(tasks)
 	}
 	b.ReportMetric(float64(n), "tasks")
 }

@@ -16,7 +16,9 @@
 // benchmark is more than threshold percent slower, allocates more per op
 // than the baseline allows (a small slack absorbs parallel-benchmark
 // noise; zero-alloc benchmarks are gated exactly), or has vanished
-// (unless -allow-missing).
+// (unless -allow-missing). Benchmarks present only in the current run
+// cannot fail the gate, but they are listed as "new, no baseline" with a
+// reminder to re-baseline so they do not stay ungated.
 package main
 
 import (
@@ -62,7 +64,8 @@ func usage() {
       Compare two BENCH_*.json files. Exit 1 on any regression: ns/op more
       than threshold percent above baseline (default 15), allocs/op growth
       beyond the slack (default 1%; 0 allocs/op stays exact), or a baseline
-      benchmark missing from CURRENT.
+      benchmark missing from CURRENT. Benchmarks only in CURRENT are listed
+      as "new, no baseline" — re-baseline to gate them.
 `)
 }
 

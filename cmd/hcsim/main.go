@@ -37,7 +37,7 @@ func main() {
 		heuristic   = flag.String("heuristic", "MM", "mapping heuristic (RR, MET, MCT, KPB, OLB, MM, MSD, MMU, MaxMin, Sufferage, FCFS-RR, EDF, SJF)")
 		mode        = flag.String("mode", "batch", "allocation mode: batch or immediate")
 		tasks       = flag.Int("tasks", 15000, "total tasks (oversubscription level)")
-		pattern     = flag.String("pattern", "spiky", "arrival pattern: spiky or constant")
+		pattern     = flag.String("pattern", "spiky", "arrival model: spiky, constant, poisson, diurnal or mmpp")
 		homogeneous = flag.Bool("homogeneous", false, "use the homogeneous system (8 identical machines)")
 		prune       = flag.Bool("prune", false, "attach the pruning mechanism")
 		threshold   = flag.Float64("threshold", 0.5, "pruning threshold (chance of success)")
@@ -112,17 +112,16 @@ func main() {
 		fatal(err)
 	}
 	wcfg := prunesim.DefaultWorkload(*tasks)
-	switch *pattern {
-	case "spiky":
-		wcfg.Pattern = prunesim.SpikyArrival
-	case "constant":
-		wcfg.Pattern = prunesim.ConstantArrival
-	default:
-		fatal(fmt.Errorf("unknown pattern %q", *pattern))
-	}
+	// Any arrival-model name works here; diurnal and mmpp run with their
+	// default shapes (scenario files configure custom curves).
+	wcfg.Model = *pattern
 	if *calibrate {
 		wcfg.Trial = *trial
-		rep, err := platform.AssessCalibration(prunesim.GenerateWorkload(matrix, wcfg), 10)
+		tasks, err := prunesim.GenerateWorkload(matrix, wcfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := platform.AssessCalibration(tasks, 10)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,7 +18,6 @@ import (
 
 	"prunesim"
 	"prunesim/internal/trace"
-	"prunesim/internal/workload"
 )
 
 func main() {
@@ -39,10 +38,11 @@ func main() {
 	case *wl > 0:
 		cfg := prunesim.DefaultWorkload(*wl)
 		cfg.Trial = *trial
-		if *pattern == "constant" {
-			cfg.Pattern = workload.Constant
+		cfg.Model = *pattern
+		tasks, err := prunesim.GenerateWorkload(matrix, cfg)
+		if err != nil {
+			fatal(err)
 		}
-		tasks := prunesim.GenerateWorkload(matrix, cfg)
 		if err := trace.WriteTasks(os.Stdout, tasks); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,60 @@
+// Command scenariocheck loads and validates every scenario JSON file under
+// the given directories (default examples/scenarios). It is the CI
+// `scenarios-validate` gate: schema drift — a renamed field, a new
+// validation rule, an example left behind by an arrival-model change —
+// fails the build at PR time instead of surfacing when a user loads the
+// file.
+//
+// Usage:
+//
+//	scenariocheck [DIR...]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"prunesim"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"examples/scenarios"}
+	}
+	var paths []string
+	for _, dir := range dirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			fatal(err)
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no scenario files under %v", dirs))
+	}
+	sort.Strings(paths)
+	failed := 0
+	for _, path := range paths {
+		sc, err := prunesim.LoadScenario(path)
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL  %-40s %v\n", filepath.Base(path), err)
+			continue
+		}
+		pattern := sc.Workload.Pattern
+		fmt.Printf("ok    %-40s pattern=%-9s tasks=%-6d heuristic=%-8s trials=%d\n",
+			filepath.Base(path), pattern, sc.Workload.Tasks, sc.Platform.Heuristic, sc.Run.Trials)
+	}
+	fmt.Printf("%d scenario(s), %d invalid\n", len(paths), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenariocheck:", err)
+	os.Exit(1)
+}

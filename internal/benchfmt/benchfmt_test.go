@@ -262,3 +262,59 @@ func TestDiffTextReport(t *testing.T) {
 		t.Errorf("report text missing expected content:\n%s", out)
 	}
 }
+
+// TestDiffReportsNewBenchmarks: a benchmark present only in the current
+// run must appear as "new, no baseline" — never fail the gate, never be
+// silently dropped — and the text report must nudge a re-baseline.
+func TestDiffReportsNewBenchmarks(t *testing.T) {
+	old := benchFile("BenchmarkX", 100, 2)
+	cur := &File{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Pkg: "p", Runs: 1, NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkFresh", Pkg: "p", Runs: 1, NsPerOp: 50, AllocsPerOp: 1},
+	}}
+	rep := Diff(old, cur, DiffOptions{NsThresholdPct: 15})
+	if rep.Failed() {
+		t.Fatalf("a new benchmark must not fail the diff: %+v", rep.Entries)
+	}
+	if rep.New != 1 {
+		t.Fatalf("New = %d, want 1 (%+v)", rep.New, rep.Entries)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Name == "BenchmarkFresh" {
+			found = true
+			if e.Verdict != VerdictNew {
+				t.Errorf("verdict = %q, want %q", e.Verdict, VerdictNew)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("new benchmark missing from entries: %+v", rep.Entries)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "new, no baseline") || !strings.Contains(out, "re-run scripts/bench_snapshot.sh") {
+		t.Errorf("report text missing new-benchmark note:\n%s", out)
+	}
+}
+
+// TestDiffNewBenchmarkSharingNameAcrossPackages pins the fix for the
+// silent-skip bug: a current-only benchmark whose bare name matches a
+// baseline benchmark in a DIFFERENT package is still new, not ignored.
+func TestDiffNewBenchmarkSharingNameAcrossPackages(t *testing.T) {
+	old := benchFile("BenchmarkX", 100, 2) // pkg "p"
+	cur := &File{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Pkg: "p", Runs: 1, NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkX", Pkg: "q", Runs: 1, NsPerOp: 70, AllocsPerOp: 2},
+	}}
+	rep := Diff(old, cur, DiffOptions{NsThresholdPct: 15})
+	if rep.New != 1 {
+		t.Fatalf("cross-package name twin not reported as new: %+v", rep.Entries)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (matched + new)", len(rep.Entries))
+	}
+}

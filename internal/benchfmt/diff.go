@@ -36,7 +36,7 @@ const (
 	VerdictRegression Verdict = "REGRESSION"
 	VerdictAllocsGrew Verdict = "ALLOCS-REGRESSION"
 	VerdictMissing    Verdict = "missing"
-	VerdictNew        Verdict = "new"
+	VerdictNew        Verdict = "new, no baseline"
 	VerdictIncomplete Verdict = "incomplete"
 )
 
@@ -61,6 +61,10 @@ type Entry struct {
 type Report struct {
 	Entries     []Entry `json:"entries"`
 	Regressions int     `json:"regressions"`
+	// New counts benchmarks present only in the current run. They cannot
+	// regress (there is nothing to compare against), but they are reported
+	// so a missing re-baseline is visible instead of silent.
+	New int `json:"new"`
 }
 
 // Failed reports whether any entry regressed.
@@ -129,12 +133,13 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 		}
 		rep.add(e)
 	}
+	// Every current benchmark the baseline loop did not match is new:
+	// seen tracks actual matches (including the bare-name fallback), so a
+	// benchmark that merely shares a name with a baseline entry in another
+	// package is still reported instead of silently ignored.
 	for i := range current.Benchmarks {
 		nb := &current.Benchmarks[i]
 		if !seen[nb] {
-			if _, inBase := indexByName(baseline, nb.Name); inBase {
-				continue // matched via bare-name fallback above
-			}
 			rep.add(Entry{
 				Name: nb.Name, Pkg: nb.Pkg,
 				OldNs: math.NaN(), OldAllocs: -1,
@@ -155,19 +160,12 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 	return rep
 }
 
-// indexByName finds a benchmark by bare name in f.
-func indexByName(f *File, name string) (int, bool) {
-	for i := range f.Benchmarks {
-		if f.Benchmarks[i].Name == name {
-			return i, true
-		}
-	}
-	return -1, false
-}
-
 func (r *Report) add(e Entry) {
 	if e.Regression {
 		r.Regressions++
+	}
+	if e.Verdict == VerdictNew {
+		r.New++
 	}
 	r.Entries = append(r.Entries, e)
 }
@@ -188,8 +186,15 @@ func (r *Report) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "\n%d benchmark(s), %d regression(s)\n", len(r.Entries), r.Regressions)
-	return err
+	if _, err := fmt.Fprintf(w, "\n%d benchmark(s), %d regression(s)\n", len(r.Entries), r.Regressions); err != nil {
+		return err
+	}
+	if r.New > 0 {
+		if _, err := fmt.Fprintf(w, "%d new benchmark(s) without a baseline — re-run scripts/bench_snapshot.sh and commit the refreshed BENCH_baseline.json to gate them\n", r.New); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fmtNs(v float64) string {

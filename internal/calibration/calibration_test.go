@@ -19,7 +19,11 @@ func testTasks(n, trial int) []*task.Task {
 	cfg.TimeSpan = 900
 	cfg.NumSpikes = 3
 	cfg.Trial = trial
-	return workload.Generate(matrix, cfg)
+	tasks, err := workload.Generate(matrix, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tasks
 }
 
 func baseCfg(prune core.Config) sim.Config {

@@ -19,7 +19,6 @@ import (
 	"prunesim/internal/scenario"
 	"prunesim/internal/sim"
 	"prunesim/internal/stats"
-	"prunesim/internal/workload"
 )
 
 // Options tunes how figures are regenerated.
@@ -130,21 +129,28 @@ type point struct {
 	immediate   bool
 	heuristic   string
 	prune       core.Config
-	pattern     workload.Pattern
-	numTasks    int  // paper-scale level; Options.Scale is applied by the engine
-	slots       int  // machine-queue pending slots; 0 means sim.DefaultSlots
-	valued      bool // draw task values from [1, 5] (value-aware extension)
+	pattern     string // arrival-model name (workload.ModelSpiky, ...)
+	numTasks    int    // paper-scale level; Options.Scale is applied by the engine
+	slots       int    // machine-queue pending slots; 0 means sim.DefaultSlots
+	valued      bool   // draw task values from [1, 5] (value-aware extension)
+	// arrival, when non-nil, overrides the whole workload spec — the
+	// arrivals sensitivity driver uses it to select diurnal/mmpp curves.
+	arrival *scenario.Workload
 }
 
 // scenario lowers a sweep point to a Scenario with the harness options
 // applied.
 func (h *harness) scenario(p point) scenario.Scenario {
+	wl := scenario.Workload{
+		Pattern: p.pattern,
+		Tasks:   p.numTasks,
+	}
+	if p.arrival != nil {
+		wl = *p.arrival
+	}
 	sc := scenario.Scenario{
-		Name: fmt.Sprintf("%s-%s-%d", p.heuristic, p.pattern, p.numTasks),
-		Workload: scenario.Workload{
-			Pattern: p.pattern.String(),
-			Tasks:   p.numTasks,
-		},
+		Name:     fmt.Sprintf("%s-%s-%d", p.heuristic, wl.Pattern, p.numTasks),
+		Workload: wl,
 		Platform: scenario.Platform{
 			Heuristic: p.heuristic,
 			Slots:     p.slots,

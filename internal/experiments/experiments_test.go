@@ -12,7 +12,7 @@ func quickOpt() Options {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	want := []string{"10a", "10b", "6", "7a", "7b", "8", "9a", "9b", "a1", "a2", "a3", "a4"}
+	want := []string{"10a", "10b", "6", "7a", "7b", "8", "9a", "9b", "a1", "a2", "a3", "a4", "arrivals"}
 	if len(names) != len(want) {
 		t.Fatalf("figure names = %v, want %v", names, want)
 	}
@@ -175,6 +175,31 @@ func TestAblationDrivers(t *testing.T) {
 					t.Fatalf("a4 row missing weighted_robustness_pct extra")
 				}
 			}
+		}
+	}
+}
+
+// TestArrivalsSensitivity is the smoke test over the arrival-model
+// sensitivity driver: every (model, toggle) cell must run and report a
+// sane robustness.
+func TestArrivalsSensitivity(t *testing.T) {
+	fr, err := Run("arrivals", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 12 { // 4 arrival models x 3 toggle variants
+		t.Fatalf("rows = %d, want 12", len(fr.Rows))
+	}
+	series := map[string]int{}
+	for _, r := range fr.Rows {
+		series[r.Series]++
+		if r.Robustness.Mean < 0 || r.Robustness.Mean > 100 {
+			t.Fatalf("row %s|%s robustness %v", r.Series, r.X, r.Robustness.Mean)
+		}
+	}
+	for _, model := range []string{"spiky", "poisson", "diurnal", "mmpp"} {
+		if series[model] != 3 {
+			t.Fatalf("model %s has %d rows, want 3 (series: %v)", model, series[model], series)
 		}
 	}
 }

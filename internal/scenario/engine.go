@@ -153,6 +153,10 @@ func (e *Engine) RunWithProgress(s Scenario, onTrial func(TrialProgress)) (*Outc
 	if err != nil {
 		return nil, err
 	}
+	c, err := e.compile(s)
+	if err != nil {
+		return nil, err
+	}
 	par := e.Parallelism
 	if par <= 0 {
 		par = s.Run.Parallelism
@@ -169,7 +173,7 @@ func (e *Engine) RunWithProgress(s Scenario, onTrial func(TrialProgress)) (*Outc
 		go func(trial int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[trial], errs[trial] = e.runTrial(s, trial)
+			results[trial], errs[trial] = e.runTrial(s, c, trial)
 			if onTrial != nil && errs[trial] == nil {
 				progressMu.Lock()
 				done++
@@ -212,7 +216,13 @@ func (e *Engine) Sweep(cells []Cell) ([]CellResult, error) {
 	type job struct{ cell, trial int }
 	var jobs []job
 	perCell := make([][]*sim.Result, len(cells))
+	compiledCells := make([]*compiled, len(cells))
 	for i, s := range norm {
+		c, err := e.compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s|%s: %w", cells[i].Series, cells[i].X, err)
+		}
+		compiledCells[i] = c
 		perCell[i] = make([]*sim.Result, s.Run.Trials)
 		for t := 0; t < s.Run.Trials; t++ {
 			jobs = append(jobs, job{cell: i, trial: t})
@@ -227,7 +237,7 @@ func (e *Engine) Sweep(cells []Cell) ([]CellResult, error) {
 		go func(j int, jb job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			perCell[jb.cell][jb.trial], errs[j] = e.runTrial(norm[jb.cell], jb.trial)
+			perCell[jb.cell][jb.trial], errs[j] = e.runTrial(norm[jb.cell], compiledCells[jb.cell], jb.trial)
 		}(j, jb)
 	}
 	wg.Wait()
@@ -243,14 +253,51 @@ func (e *Engine) Sweep(cells []Cell) ([]CellResult, error) {
 	return out, nil
 }
 
-// runTrial executes one trial of a normalized scenario.
-func (e *Engine) runTrial(s Scenario, trial int) (*sim.Result, error) {
+// compiled is a normalized scenario's trial-independent state: the cached
+// PET matrix, the scaled workload configuration, and the arrival model
+// compiled from it. Trials only vary the RNG streams, so the sweep pays
+// model validation and construction (for traces: copying, sorting and
+// binning the arrival list) once per scenario, not once per trial.
+type compiled struct {
+	matrix *pet.Matrix
+	wcfg   workload.Config // Trial left at 0; set per trial
+	model  workload.ArrivalModel
+}
+
+// compile builds a normalized scenario's trial-independent state. Workload
+// configuration errors surface here — before any trial goroutine starts.
+func (e *Engine) compile(s Scenario) (*compiled, error) {
 	matrix := e.matrix(s)
-	wcfg, err := s.workloadConfig(trial)
+	wcfg, err := s.workloadConfig(0)
 	if err != nil {
 		return nil, err
 	}
-	tasks := workload.Generate(matrix, wcfg)
+	model, err := workload.NewArrivalModel(wcfg, matrix.NumTaskTypes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return &compiled{matrix: matrix, wcfg: wcfg, model: model}, nil
+}
+
+// runTrial executes one trial of a compiled scenario. A panic anywhere
+// below (a model bug, a pathological config that slipped past validation)
+// is converted to an error here, on the worker goroutine that would
+// otherwise crash the whole process — the serving layer turns it into a
+// failed job and stays up.
+func (e *Engine) runTrial(s Scenario, c *compiled, trial int) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("scenario %q: trial %d panicked: %v", s.Name, trial, r)
+		}
+	}()
+	matrix := c.matrix
+	wcfg := c.wcfg
+	wcfg.Trial = trial
+	tasks := workload.GenerateWith(matrix, c.model, wcfg)
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("scenario %q: workload generated no tasks (tasks=%d at scale %v)",
+			s.Name, s.Workload.Tasks, s.Run.Scale)
+	}
 
 	// Fresh heuristic instance per trial: some heuristics carry cursors.
 	h, imm, err := sched.ByName(s.Platform.Heuristic)

@@ -13,8 +13,8 @@ func TestShippedScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) < 8 {
-		t.Fatalf("expected at least 8 shipped scenarios, found %d: %v", len(paths), paths)
+	if len(paths) < 15 {
+		t.Fatalf("expected at least 15 shipped scenarios, found %d: %v", len(paths), paths)
 	}
 	eng := NewEngine(4)
 	for _, path := range paths {

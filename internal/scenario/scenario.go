@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"prunesim/internal/core"
+	"prunesim/internal/pet"
 	"prunesim/internal/sched"
 	"prunesim/internal/sim"
 	"prunesim/internal/workload"
@@ -63,14 +64,17 @@ type Scenario struct {
 }
 
 // Workload declares the synthetic task stream of a scenario (see
-// internal/workload for the generation recipe).
+// internal/workload for the generation recipe and the arrival models).
 type Workload struct {
-	// Pattern is the arrival profile: "spiky" (paper default) or
-	// "constant". Empty selects "spiky".
+	// Pattern names the arrival model: "spiky" (paper default), "constant",
+	// "poisson", "diurnal" (inhomogeneous Poisson over a declarative rate
+	// curve), "mmpp" (Markov-modulated Poisson) or "trace" (replay explicit
+	// timestamps). Empty selects "spiky".
 	Pattern string `json:"pattern,omitempty"`
 	// Tasks is the expected task count across all types — the paper's
-	// oversubscription knob (15000, 20000, 25000). Required.
-	Tasks int `json:"tasks"`
+	// oversubscription knob (15000, 20000, 25000). Required except for the
+	// trace model, whose task count is the trace length.
+	Tasks int `json:"tasks,omitempty"`
 	// TimeSpan is the workload duration in simulation time units
 	// (default 3000, the paper's span).
 	TimeSpan float64 `json:"time_span,omitempty"`
@@ -92,6 +96,63 @@ type Workload struct {
 	// task has unit value.
 	ValueLo float64 `json:"value_lo,omitempty"`
 	ValueHi float64 `json:"value_hi,omitempty"`
+	// Rate declares the diurnal model's relative rate curve (pattern
+	// "diurnal" only). Omitted selects one sinusoidal cycle at amplitude
+	// 0.8.
+	Rate *DiurnalSpec `json:"rate,omitempty"`
+	// MMPP declares the Markov-modulated process (pattern "mmpp" only).
+	// Omitted selects a two-state calm/burst chain at 1x/8x the base rate
+	// with mean holds of 1/8 and 1/32 of the span.
+	MMPP *MMPPSpec `json:"mmpp,omitempty"`
+	// Trace declares the arrivals to replay (pattern "trace" only).
+	Trace *TraceSpec `json:"trace,omitempty"`
+}
+
+// DiurnalSpec mirrors workload.DiurnalConfig in the JSON schema: the
+// relative rate curve of the inhomogeneous-Poisson model, normalized so the
+// expected task count still matches workload.tasks.
+type DiurnalSpec struct {
+	// Cycles is the number of full sinusoidal periods across the span
+	// (default 1).
+	Cycles float64 `json:"cycles,omitempty"`
+	// Amplitude in (0, 1] scales the swing around the mean rate.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Phase shifts the sinusoid, in radians.
+	Phase float64 `json:"phase,omitempty"`
+	// Pieces replaces the sinusoid with a piecewise-constant curve: until
+	// values are fractions of the span, strictly increasing, ending at 1.
+	Pieces []RatePiece `json:"pieces,omitempty"`
+}
+
+// RatePiece is one segment of a piecewise-constant rate curve.
+type RatePiece struct {
+	Until float64 `json:"until"`
+	Level float64 `json:"level"`
+}
+
+// MMPPSpec mirrors workload.MMPPConfig: a cyclic Markov-modulated Poisson
+// process with per-state relative rates and mean sojourn times.
+type MMPPSpec struct {
+	// Rates are per-state relative arrival-rate multipliers (> 0, >= 2
+	// states).
+	Rates []float64 `json:"rates"`
+	// MeanHold are the mean state sojourn times in workload time units
+	// (same length as rates). run.scale shrinks them with the span.
+	MeanHold []float64 `json:"mean_hold"`
+}
+
+// TraceSpec declares replayed arrivals. Exactly one source: inline
+// arrivals, or a CSV path resolved relative to the scenario file by Load
+// (Parse and inline service submissions require inline arrivals — the
+// daemon does not read files on behalf of clients).
+type TraceSpec struct {
+	// Path is a CSV of `time` or `time,type` rows.
+	Path string `json:"path,omitempty"`
+	// Arrivals are inline timestamps within [0, time_span]; run.scale
+	// compresses them with the span.
+	Arrivals []float64 `json:"arrivals,omitempty"`
+	// Types optionally assigns a PET task type to each arrival.
+	Types []int `json:"types,omitempty"`
 }
 
 // Platform declares the system under test: its heterogeneity profile,
@@ -229,6 +290,9 @@ func Load(path string) (Scenario, error) {
 		if s.Name == "" {
 			s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		}
+		err = s.resolveTrace(filepath.Dir(path))
+	}
+	if err == nil {
 		s, err = s.Normalize()
 	}
 	if err != nil {
@@ -244,6 +308,29 @@ func Parse(data []byte) (Scenario, error) {
 		return Scenario{}, err
 	}
 	return s.Normalize()
+}
+
+// resolveTrace loads a trace CSV referenced by workload.trace.path into
+// inline arrivals, relative to the scenario file's directory. Only Load
+// calls this; parsed documents (service submissions) must inline their
+// arrivals, so the daemon never reads files on a client's behalf. The
+// loaded timestamps take part in the content hash — editing the CSV
+// changes the hash, keeping the result cache honest.
+func (s *Scenario) resolveTrace(dir string) error {
+	tr := s.Workload.Trace
+	if tr == nil || tr.Path == "" || len(tr.Arrivals) > 0 {
+		return nil
+	}
+	path := tr.Path
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(dir, path)
+	}
+	arrivals, types, err := workload.LoadTraceCSV(path)
+	if err != nil {
+		return err
+	}
+	tr.Arrivals, tr.Types = arrivals, types
+	return nil
 }
 
 // decode unmarshals a scenario document, rejecting unknown fields.
@@ -279,6 +366,29 @@ func (s Scenario) Normalize() (Scenario, error) {
 	}
 	if w.BetaLo == 0 && w.BetaHi == 0 {
 		w.BetaLo, w.BetaHi = 0.8, 2.5
+	}
+	switch w.Pattern {
+	case workload.ModelDiurnal:
+		if w.Rate == nil {
+			w.Rate = &DiurnalSpec{Cycles: workload.DefaultDiurnalCycles, Amplitude: workload.DefaultDiurnalAmplitude}
+		} else if len(w.Rate.Pieces) == 0 && w.Rate.Cycles == 0 {
+			// Clone before defaulting: Normalize documents "the receiver
+			// is unchanged", and the Rate pointer may be shared between
+			// scenario values normalized concurrently.
+			r := *w.Rate
+			r.Cycles = workload.DefaultDiurnalCycles
+			w.Rate = &r
+		}
+	case workload.ModelMMPP:
+		if w.MMPP == nil {
+			w.MMPP = &MMPPSpec{
+				Rates: []float64{1, workload.DefaultMMPPBurstRate},
+				MeanHold: []float64{
+					w.TimeSpan / workload.DefaultMMPPHoldDivisors[0],
+					w.TimeSpan / workload.DefaultMMPPHoldDivisors[1],
+				},
+			}
+		}
 	}
 
 	// Platform defaults.
@@ -342,15 +452,16 @@ func (s Scenario) Normalize() (Scenario, error) {
 // validate checks a defaulted scenario for self-consistency.
 func (s Scenario) validate() error {
 	w, p, pr, r := s.Workload, s.Platform, s.Prune, s.Run
-	if _, err := w.pattern(); err != nil {
-		return err
+	model, err := w.model()
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	switch {
-	case w.Tasks <= 0:
+	case model != workload.ModelTrace && w.Tasks <= 0:
 		return fmt.Errorf("scenario %q: workload.tasks must be positive, got %d", s.Name, w.Tasks)
 	case w.TimeSpan <= 0:
 		return fmt.Errorf("scenario %q: workload.time_span must be positive, got %v", s.Name, w.TimeSpan)
-	case w.Pattern == "spiky" && (w.Spikes <= 0 || w.SpikeFactor <= 1):
+	case model == workload.ModelSpiky && (w.Spikes <= 0 || w.SpikeFactor <= 1):
 		return fmt.Errorf("scenario %q: spiky arrivals need spikes > 0 and spike_factor > 1, got %d, %v",
 			s.Name, w.Spikes, w.SpikeFactor)
 	case w.IATVarianceFrac <= 0:
@@ -361,6 +472,38 @@ func (s Scenario) validate() error {
 	case w.ValueHi != 0 && (w.ValueLo <= 0 || w.ValueHi < w.ValueLo):
 		return fmt.Errorf("scenario %q: task values need 0 < value_lo <= value_hi, got [%v, %v]",
 			s.Name, w.ValueLo, w.ValueHi)
+	}
+	// Model-specific sub-configs only make sense with their own pattern —
+	// a leftover spec under the wrong pattern is a silent no-op the author
+	// almost certainly did not intend.
+	switch {
+	case w.Rate != nil && model != workload.ModelDiurnal:
+		return fmt.Errorf("scenario %q: workload.rate applies only to pattern \"diurnal\", not %q", s.Name, model)
+	case w.MMPP != nil && model != workload.ModelMMPP:
+		return fmt.Errorf("scenario %q: workload.mmpp applies only to pattern \"mmpp\", not %q", s.Name, model)
+	case w.Trace != nil && model != workload.ModelTrace:
+		return fmt.Errorf("scenario %q: workload.trace applies only to pattern \"trace\", not %q", s.Name, model)
+	case model == workload.ModelTrace && w.Trace == nil:
+		return fmt.Errorf("scenario %q: pattern \"trace\" needs a workload.trace spec", s.Name)
+	case model == workload.ModelTrace && len(w.Trace.Arrivals) == 0 && w.Trace.Path != "":
+		return fmt.Errorf("scenario %q: workload.trace.path is resolved when loading a scenario file; inline submissions must carry workload.trace.arrivals", s.Name)
+	case model == workload.ModelDiurnal && len(w.Rate.Pieces) == 0 && w.Rate.Amplitude == 0:
+		// JSON cannot distinguish an omitted amplitude from an explicit 0,
+		// and a 0-amplitude sinusoid is just a Poisson process — the
+		// diurnal knob would be a silent no-op. (Omitting workload.rate
+		// entirely selects the default 0.8-amplitude cycle.)
+		return fmt.Errorf("scenario %q: workload.rate has amplitude 0 (a flat curve): set amplitude or pieces, omit workload.rate for the default curve, or use pattern \"poisson\" for a flat rate", s.Name)
+	}
+	// Full arrival-model validation (the scenario is lowered to an
+	// unscaled workload.Config and compiled): whatever this catches beyond
+	// the named checks above still fails here, at schema level, instead of
+	// inside a worker.
+	wcfg, err := s.unscaledWorkloadConfig()
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := workload.Validate(wcfg, len(pet.TaskTypeNames)); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 
 	if p.Profile != ProfileStandard && p.Profile != ProfileHomogeneous {
@@ -423,16 +566,18 @@ func (s Scenario) validate() error {
 	return nil
 }
 
-// pattern resolves the workload pattern name.
-func (w Workload) pattern() (workload.Pattern, error) {
-	switch w.Pattern {
-	case "spiky":
-		return workload.Spiky, nil
-	case "constant":
-		return workload.Constant, nil
-	default:
-		return 0, fmt.Errorf("unknown workload.pattern %q (want \"spiky\" or \"constant\")", w.Pattern)
+// model resolves the workload pattern name to an arrival-model name.
+func (w Workload) model() (string, error) {
+	name := w.Pattern
+	if name == "" {
+		name = workload.ModelSpiky
 	}
+	for _, m := range workload.ModelNames() {
+		if name == m {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown workload.pattern %q (want one of %v)", w.Pattern, workload.ModelNames())
 }
 
 // toggleMode resolves the dropping-toggle name.
@@ -492,16 +637,33 @@ func (s Scenario) coreConfig(numTaskTypes int) (core.Config, error) {
 }
 
 // workloadConfig materializes the workload generator configuration for one
-// trial, with Run.Scale applied. The scenario must already be normalized.
+// trial, with Run.Scale applied: task counts, the time span, MMPP sojourn
+// times and trace timestamps all shrink together, so the oversubscription
+// level and burst structure are preserved. The scenario must already be
+// normalized.
 func (s Scenario) workloadConfig(trial int) (workload.Config, error) {
-	pat, err := s.Workload.pattern()
+	cfg, err := s.scaledWorkloadConfig(s.Run.Scale)
+	cfg.Trial = trial
+	return cfg, err
+}
+
+// unscaledWorkloadConfig lowers the workload spec at scale 1, the form
+// schema validation checks. (Run.Scale interacts at run time: a valid
+// scenario whose tasks*scale rounds to zero fails its trials with an
+// error, which the serving layer reports as a failed job.)
+func (s Scenario) unscaledWorkloadConfig() (workload.Config, error) {
+	return s.scaledWorkloadConfig(1)
+}
+
+func (s Scenario) scaledWorkloadConfig(scale float64) (workload.Config, error) {
+	model, err := s.Workload.model()
 	if err != nil {
 		return workload.Config{}, err
 	}
-	return workload.Config{
-		Pattern:         pat,
-		NumTasks:        int(float64(s.Workload.Tasks) * s.Run.Scale),
-		TimeSpan:        s.Workload.TimeSpan * s.Run.Scale,
+	cfg := workload.Config{
+		Model:           model,
+		NumTasks:        int(float64(s.Workload.Tasks) * scale),
+		TimeSpan:        s.Workload.TimeSpan * scale,
 		NumSpikes:       s.Workload.Spikes,
 		SpikeFactor:     s.Workload.SpikeFactor,
 		IATVarianceFrac: s.Workload.IATVarianceFrac,
@@ -510,6 +672,36 @@ func (s Scenario) workloadConfig(trial int) (workload.Config, error) {
 		ValueLo:         s.Workload.ValueLo,
 		ValueHi:         s.Workload.ValueHi,
 		Seed:            s.Run.Seed,
-		Trial:           trial,
-	}, nil
+	}
+	switch model {
+	case workload.ModelDiurnal:
+		if r := s.Workload.Rate; r != nil {
+			cfg.Diurnal = workload.DiurnalConfig{
+				Cycles:    r.Cycles,
+				Amplitude: r.Amplitude,
+				Phase:     r.Phase,
+			}
+			for _, p := range r.Pieces {
+				cfg.Diurnal.Pieces = append(cfg.Diurnal.Pieces, workload.RatePiece{Until: p.Until, Level: p.Level})
+			}
+		}
+	case workload.ModelMMPP:
+		if m := s.Workload.MMPP; m != nil {
+			cfg.MMPP.Rates = append([]float64(nil), m.Rates...)
+			cfg.MMPP.MeanHold = make([]float64, len(m.MeanHold))
+			for i, h := range m.MeanHold {
+				cfg.MMPP.MeanHold[i] = h * scale
+			}
+		}
+	case workload.ModelTrace:
+		if tr := s.Workload.Trace; tr != nil {
+			cfg.Trace.Path = tr.Path
+			cfg.Trace.Arrivals = make([]float64, len(tr.Arrivals))
+			for i, a := range tr.Arrivals {
+				cfg.Trace.Arrivals[i] = a * scale
+			}
+			cfg.Trace.Types = append([]int(nil), tr.Types...)
+		}
+	}
+	return cfg, nil
 }

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prunesim/internal/scenario"
+)
+
+// panickyEngine stands in for the sweep engine to prove the worker pool's
+// recover-and-fail guard: every run panics, as a buggy future arrival
+// model might.
+type panickyEngine struct{}
+
+func (panickyEngine) RunWithProgress(scenario.Scenario, func(scenario.TrialProgress)) (*scenario.Outcome, error) {
+	panic("arrival model exploded")
+}
+
+func waitTerminal(t *testing.T, s *Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Status{}
+}
+
+// TestWorkerSurvivesEnginePanic: a panic inside a job run must fail THAT
+// job with a diagnostic and leave the worker alive to process the next
+// one — prunesimd must not lose workers to bad configs.
+func TestWorkerSurvivesEnginePanic(t *testing.T) {
+	s := New(Config{QueueCapacity: 4, Workers: 1})
+	defer s.Close()
+	s.engine = panickyEngine{}
+
+	sc := scenario.Default()
+	sc.Run.Trials = 1
+	first, err := s.Submit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, first.id)
+	if st.State != StateFailed {
+		t.Fatalf("job state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "internal error") || !strings.Contains(st.Error, "arrival model exploded") {
+		t.Fatalf("failure diagnostic %q missing panic context", st.Error)
+	}
+
+	// The single worker must still be draining the queue: a second job
+	// reaches a terminal state instead of sitting queued forever.
+	sc.Run.Seed = 999 // distinct hash: avoid any cache interplay
+	second, err := s.Submit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, second.id); st.State != StateFailed {
+		t.Fatalf("second job state = %s, want failed (from the same surviving worker)", st.State)
+	}
+	if got := s.Metrics().JobsFailed.Load(); got != 2 {
+		t.Fatalf("JobsFailed = %d, want 2", got)
+	}
+}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"fmt"
+
 	"prunesim/internal/scenario"
 )
 
@@ -51,10 +53,22 @@ const (
 // process runs one job to a terminal state: engine execution with live
 // per-trial progress events, then the outcome lands in the result store so
 // every future identical submission is a cache hit.
+//
+// The deferred recover is the worker pool's last line of defense: the
+// engine already converts per-trial panics to errors, but if any future
+// arrival model (or the engine itself) panics outside that guard, the job
+// fails with a diagnostic instead of the panic unwinding through the
+// worker goroutine and killing prunesimd.
 func (s *Server) process(job *Job) {
 	s.metrics.JobsQueued.Add(-1)
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.JobsFailed.Add(1)
+			job.fail(fmt.Errorf("internal error: %v", r))
+		}
+	}()
 	job.setRunning()
 	s.metrics.EngineRuns.Add(1)
 	outcome, err := s.engine.RunWithProgress(job.scenario, func(p scenario.TrialProgress) {

@@ -54,11 +54,18 @@ type Config struct {
 	Library []scenario.Scenario
 }
 
+// engineRunner is the seam between the worker pool and the sweep engine;
+// tests substitute a misbehaving engine to exercise the worker's
+// recover-and-fail guard.
+type engineRunner interface {
+	RunWithProgress(s scenario.Scenario, onTrial func(scenario.TrialProgress)) (*scenario.Outcome, error)
+}
+
 // Server owns the queue, worker pool, job registry, result store and
 // metrics behind the HTTP API. Create with New, expose with Handler, stop
 // with Close. Safe for concurrent use.
 type Server struct {
-	engine   *scenario.Engine
+	engine   engineRunner
 	store    Store
 	metrics  *Metrics
 	library  map[string]scenario.Scenario
@@ -128,6 +135,7 @@ func New(cfg Config) *Server {
 			Name:        sc.Name,
 			Description: sc.Description,
 			Hash:        hash,
+			Pattern:     sc.Workload.Pattern,
 			Tasks:       sc.Workload.Tasks,
 			Heuristic:   sc.Platform.Heuristic,
 			Trials:      sc.Run.Trials,
@@ -433,6 +441,7 @@ type scenarioInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 	Hash        string `json:"hash"`
+	Pattern     string `json:"pattern"`
 	Tasks       int    `json:"tasks"`
 	Heuristic   string `json:"heuristic"`
 	Trials      int    `json:"trials"`

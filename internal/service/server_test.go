@@ -657,3 +657,85 @@ func TestConcurrentSubmissions(t *testing.T) {
 		t.Fatalf("engine runs %d < 4 distinct scenarios", runs)
 	}
 }
+
+// TestMalformedWorkloadFailsJobDaemonStaysUp is the headline-bugfix
+// regression: a scenario that passes schema validation but whose workload
+// config degenerates at run time (tasks * run.scale rounds to zero tasks —
+// the class of config that used to panic inside workload.validate and take
+// the worker down) must come back as a FAILED job with a diagnostic, and
+// the daemon must keep serving.
+func TestMalformedWorkloadFailsJobDaemonStaysUp(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{QueueCapacity: 4, Workers: 1})
+
+	code, st, raw := postJob(t, ts, `{"scenario": {
+		"name": "degenerate",
+		"workload": {"tasks": 5},
+		"run": {"trials": 1, "scale": 0.01}
+	}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d (want accepted — the config is only malformed at run time): %s", code, raw)
+	}
+	final := waitDone(t, ts, st.ID)
+	if final.State != service.StateFailed {
+		t.Fatalf("job ended %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "NumTasks") {
+		t.Fatalf("failure diagnostic %q does not explain the workload problem", final.Error)
+	}
+
+	// The daemon is still alive and its (sole) worker still drains jobs.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("daemon down after failed job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d after failed job", resp.StatusCode)
+	}
+	code, st2, raw := postJob(t, ts, `{"name": "service_smoke"}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("follow-up submit status %d: %s", code, raw)
+	}
+	if got := waitDone(t, ts, st2.ID); got.State != service.StateDone {
+		t.Fatalf("follow-up job ended %q (error %q) — worker lost?", got.State, got.Error)
+	}
+}
+
+// TestSubmitRejectsInvalidArrivalSpecs: schema-level arrival-model errors
+// are caught at submission time with a 400, never enqueued.
+func TestSubmitRejectsInvalidArrivalSpecs(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{QueueCapacity: 4, Workers: 1})
+	for name, body := range map[string]string{
+		"unknown pattern": `{"scenario": {"workload": {"pattern": "fractal", "tasks": 100}}}`,
+		"bad mmpp":        `{"scenario": {"workload": {"pattern": "mmpp", "tasks": 100, "mmpp": {"rates": [1], "mean_hold": [1]}}}}`,
+		"path-only trace": `{"scenario": {"workload": {"pattern": "trace", "trace": {"path": "/etc/passwd"}}}}`,
+	} {
+		code, _, raw := postJob(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, code, raw)
+		}
+	}
+}
+
+// TestSubmitNewArrivalModels: each new model runs end to end through the
+// service (tiny scale) and distinct models produce distinct cache entries.
+func TestSubmitNewArrivalModels(t *testing.T) {
+	srv, ts := newTestServer(t, service.Config{QueueCapacity: 8, Workers: 2})
+	for _, pattern := range []string{"poisson", "diurnal", "mmpp"} {
+		body := fmt.Sprintf(`{"scenario": {
+			"name": "api-%s",
+			"workload": {"pattern": %q, "tasks": 15000},
+			"run": {"trials": 1, "scale": 0.03}
+		}}`, pattern, pattern)
+		code, st, raw := postJob(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("%s: submit status %d: %s", pattern, code, raw)
+		}
+		if final := waitDone(t, ts, st.ID); final.State != service.StateDone {
+			t.Fatalf("%s: job ended %q (error %q)", pattern, final.State, final.Error)
+		}
+	}
+	if hits := srv.Metrics().CacheHits.Load(); hits != 0 {
+		t.Fatalf("distinct arrival models collided in the result cache (%d hits)", hits)
+	}
+}

@@ -65,7 +65,7 @@ func TestPropSimulatorInvariants(t *testing.T) {
 		wcfg.TimeSpan = 400
 		wcfg.NumSpikes = 2
 		wcfg.Trial = rr.trial
-		tasks := workload.Generate(matrix, wcfg)
+		tasks := mustGenerate(matrix, wcfg)
 		h, _, err := sched.ByName(rr.heuristic)
 		if err != nil {
 			return false
@@ -121,7 +121,7 @@ func TestPropDeterministicAcrossRepeats(t *testing.T) {
 			wcfg.TimeSpan = 400
 			wcfg.NumSpikes = 2
 			wcfg.Trial = rr.trial
-			tasks := workload.Generate(matrix, wcfg)
+			tasks := mustGenerate(matrix, wcfg)
 			h, _, _ := sched.ByName(rr.heuristic)
 			mode := BatchMode
 			if rr.immediate {

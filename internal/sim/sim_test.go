@@ -18,6 +18,16 @@ var (
 	homMachs   = []int{0, 0, 0, 0, 0, 0, 0, 0}
 )
 
+// mustGenerate wraps workload.Generate for test helpers whose configs are
+// valid by construction.
+func mustGenerate(m *pet.Matrix, cfg workload.Config) []*task.Task {
+	tasks, err := workload.Generate(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tasks
+}
+
 // smallWorkload returns a quick oversubscribed workload for integration
 // tests.
 func smallWorkload(n int, trial int) []*task.Task {
@@ -25,7 +35,7 @@ func smallWorkload(n int, trial int) []*task.Task {
 	cfg.TimeSpan = 600
 	cfg.NumSpikes = 3
 	cfg.Trial = trial
-	return workload.Generate(hcMatrix, cfg)
+	return mustGenerate(hcMatrix, cfg)
 }
 
 func smallHomWorkload(n, trial int) []*task.Task {
@@ -33,7 +43,7 @@ func smallHomWorkload(n, trial int) []*task.Task {
 	cfg.TimeSpan = 600
 	cfg.NumSpikes = 3
 	cfg.Trial = trial
-	return workload.Generate(homMatrix, cfg)
+	return mustGenerate(homMatrix, cfg)
 }
 
 func batchCfg(h sched.Batch, prune core.Config) Config {
@@ -276,7 +286,7 @@ func TestUndersubscribedNearPerfect(t *testing.T) {
 	cfg := workload.DefaultConfig(300)
 	cfg.TimeSpan = 600
 	cfg.NumSpikes = 3
-	tasks := workload.Generate(hcMatrix, cfg)
+	tasks := mustGenerate(hcMatrix, cfg)
 	res, err := Run(hcMatrix, tasks, Config{
 		Mode: BatchMode, Heuristic: sched.NewMM(), MachineTypes: hcMachines,
 		Slots: 2, Prune: core.DefaultConfig(12), Seed: 7, ExcludeBoundary: 10,

@@ -18,7 +18,7 @@ func valuedWorkload(n, trial int) []*task.Task {
 	cfg.NumSpikes = 3
 	cfg.ValueLo, cfg.ValueHi = 1, 5
 	cfg.Trial = trial
-	return workload.Generate(hcMatrix, cfg)
+	return mustGenerate(hcMatrix, cfg)
 }
 
 func TestWeightedRobustnessEqualsPlainWithUnitValues(t *testing.T) {

@@ -32,6 +32,17 @@ func (f *failAfter) Write(p []byte) (int, error) {
 }
 
 // smallRun simulates a tiny workload with the given observer attached and
+
+// mustGenerate wraps workload.Generate for valid-by-construction configs.
+func mustGenerate(t *testing.T, m *pet.Matrix, cfg workload.Config) []*task.Task {
+	t.Helper()
+	tasks, err := workload.Generate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
 // returns the result plus the generated tasks.
 func smallRun(t *testing.T, observer func(sim.TraceEvent)) (*sim.Result, int) {
 	t.Helper()
@@ -39,7 +50,7 @@ func smallRun(t *testing.T, observer func(sim.TraceEvent)) (*sim.Result, int) {
 	cfg := workload.DefaultConfig(300)
 	cfg.TimeSpan = 150
 	cfg.NumSpikes = 2
-	tasks := workload.Generate(matrix, cfg)
+	tasks := mustGenerate(t, matrix, cfg)
 	res, err := sim.Run(matrix, tasks, sim.Config{
 		Mode: sim.BatchMode, Heuristic: sched.NewMM(),
 		MachineTypes: []int{0, 1, 2, 3, 4, 5, 6, 7},
@@ -196,7 +207,7 @@ func TestWriterObservesFullRun(t *testing.T) {
 	cfg := workload.DefaultConfig(800)
 	cfg.TimeSpan = 400
 	cfg.NumSpikes = 2
-	tasks := workload.Generate(matrix, cfg)
+	tasks := mustGenerate(t, matrix, cfg)
 
 	var sb strings.Builder
 	w, err := NewWriter(&sb)
@@ -303,7 +314,7 @@ func TestReadTasksRoundTrip(t *testing.T) {
 	cfg := workload.DefaultConfig(600)
 	cfg.TimeSpan = 300
 	cfg.NumSpikes = 2
-	orig := workload.Generate(matrix, cfg)
+	orig := mustGenerate(t, matrix, cfg)
 	var sb strings.Builder
 	if err := WriteTasks(&sb, orig); err != nil {
 		t.Fatal(err)

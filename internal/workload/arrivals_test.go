@@ -1,0 +1,342 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prunesim/internal/randx"
+)
+
+// integrateRate numerically integrates a model's declared rate over
+// [lo, hi] with enough subsamples to resolve piecewise edges.
+func integrateRate(m ArrivalModel, lo, hi float64) float64 {
+	const steps = 400
+	w := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += m.Rate(lo+(float64(i)+0.5)*w) * w
+	}
+	return sum
+}
+
+// TestEmpiricalRateConformance checks, for every stochastic model, that
+// binned arrival counts match the model's declared Rate curve: each bin's
+// count (summed over trials) must sit within a Poisson-style tolerance of
+// the integrated rate, and the normalized chi-square statistic must stay
+// near 1. MMPP is exempt from the per-bin check (its declared rate is the
+// stationary expectation, not the per-trial realized rate) and is gated on
+// the total count plus a burstiness check instead.
+func TestEmpiricalRateConformance(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		perBin bool
+	}{
+		{"spiky", cfgWith(15000, ModelSpiky), true},
+		{"constant", cfgWith(15000, ModelConstant), true},
+		{"poisson", cfgWith(12000, ModelPoisson), true},
+		{"diurnal-sin", func() Config {
+			c := cfgWith(12000, ModelDiurnal)
+			c.Diurnal = DiurnalConfig{Cycles: 2, Amplitude: 0.7}
+			return c
+		}(), true},
+		{"diurnal-pieces", func() Config {
+			c := cfgWith(12000, ModelDiurnal)
+			c.Diurnal = DiurnalConfig{Pieces: []RatePiece{
+				{Until: 0.25, Level: 0.5}, {Until: 0.5, Level: 3}, {Until: 1, Level: 1},
+			}}
+			return c
+		}(), true},
+		{"mmpp", func() Config {
+			c := cfgWith(15000, ModelMMPP)
+			c.MMPP = MMPPConfig{Rates: []float64{1, 6}, MeanHold: []float64{250, 80}}
+			return c
+		}(), false},
+	}
+	const trials = 6
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model, err := NewArrivalModel(tc.cfg, testMatrix.NumTaskTypes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			span := tc.cfg.TimeSpan
+			const bins = 40
+			binW := span / bins
+			obs := make([]float64, bins)
+			total := 0
+			for trial := 0; trial < trials; trial++ {
+				cfg := tc.cfg
+				cfg.Trial = trial
+				tasks := GenerateWith(testMatrix, model, cfg)
+				total += len(tasks)
+				for _, tk := range tasks {
+					b := int(tk.Arrival / binW)
+					if b >= bins {
+						b = bins - 1
+					}
+					obs[b]++
+				}
+			}
+			wantTotal := trials * tc.cfg.NumTasks
+			// MMPP totals carry the realized burst occupancy of each
+			// trial's shared modulating chain, so their band is wider.
+			totalTol := 0.03
+			if !tc.perBin {
+				totalTol = 0.10
+			}
+			if math.Abs(float64(total-wantTotal)) > totalTol*float64(wantTotal) {
+				t.Fatalf("total %d far from target %d (tolerance %v)", total, wantTotal, totalTol)
+			}
+			if !tc.perBin {
+				return
+			}
+			chi2 := 0.0
+			for b := 0; b < bins; b++ {
+				exp := trials * integrateRate(model, float64(b)*binW, float64(b+1)*binW)
+				if exp < 20 {
+					continue // too little mass for a stable z-score
+				}
+				z := (obs[b] - exp) / math.Sqrt(exp)
+				if math.Abs(z) > 5 {
+					t.Errorf("bin %d: observed %v, expected %.1f (z = %.1f)", b, obs[b], exp, z)
+				}
+				chi2 += z * z
+			}
+			// Gamma renewal processes under-disperse relative to Poisson
+			// (variance 10% of the mean), so chi2/bins lands below 1 for
+			// spiky/constant and near 1 for the Poisson-family models.
+			if norm := chi2 / bins; norm > 2.5 {
+				t.Errorf("normalized chi-square %.2f, want < 2.5", norm)
+			}
+		})
+	}
+}
+
+// TestMMPPBurstiness: the two-state MMPP must produce visibly burstier
+// arrivals than a homogeneous Poisson process at the same mean rate. The
+// 2x floor specifically guards the shared-modulating-chain design: with
+// independent per-type chains the 12 types' bursts almost never align and
+// the aggregate peak collapses to ~1.4x the Poisson peak.
+func TestMMPPBurstiness(t *testing.T) {
+	peak := func(cfg Config) int {
+		tasks := mustGenerate(t, cfg)
+		window, bins := 25.0, map[int]int{}
+		max := 0
+		for _, tk := range tasks {
+			bins[int(tk.Arrival/window)]++
+		}
+		for _, c := range bins {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	mmpp := cfgWith(15000, ModelMMPP)
+	mmpp.MMPP = MMPPConfig{Rates: []float64{1, 8}, MeanHold: []float64{400, 100}}
+	if p, q := peak(mmpp), peak(cfgWith(15000, ModelPoisson)); float64(p) < 2.0*float64(q) {
+		t.Fatalf("mmpp peak %d not clearly above poisson peak %d (aligned bursts should reach ~3x)", p, q)
+	}
+}
+
+// TestWarpRoundTrip is the profile property test: warp and unwarp must be
+// exact inverses across random spiky profiles, including at segment edges.
+func TestWarpRoundTrip(t *testing.T) {
+	rng := randx.New(7)
+	for i := 0; i < 200; i++ {
+		cfg := DefaultConfig(1000)
+		cfg.TimeSpan = 500 + rng.Float64()*5000
+		cfg.NumSpikes = 1 + rng.IntN(20)
+		cfg.SpikeFactor = 1.5 + rng.Float64()*8
+		p := newProfile(cfg)
+		for j := 0; j < 50; j++ {
+			w := rng.Float64() * p.warp(cfg.TimeSpan)
+			tt := p.unwarp(w)
+			if back := p.warp(tt); math.Abs(back-w) > 1e-6*math.Max(1, w) {
+				t.Fatalf("profile %+v: warp(unwarp(%v)) = %v", p, w, back)
+			}
+		}
+		// Edges: the warped length of k segments maps back to k real segments.
+		seg := p.lull + p.spike
+		segW := p.lull + p.factor*p.spike
+		for k := 0; k <= cfg.NumSpikes; k++ {
+			tt := p.unwarp(float64(k) * segW)
+			if math.Abs(tt-float64(k)*seg) > 1e-6*math.Max(1, float64(k)*seg) {
+				t.Fatalf("segment edge %d maps to %v, want %v", k, tt, float64(k)*seg)
+			}
+		}
+	}
+}
+
+// TestFactorAtBoundaries pins factorAt's semantics at exact segment edges
+// against float drift: the spike begins AT the lull edge, a segment's end
+// belongs to the next lull, and t == span is in-span.
+func TestFactorAtBoundaries(t *testing.T) {
+	for _, spikes := range []int{7, 8, 11, 13} { // 7/11/13 do not divide 3000 exactly
+		cfg := DefaultConfig(1000)
+		cfg.NumSpikes = spikes
+		p := newProfile(cfg)
+		seg := cfg.TimeSpan / float64(spikes)
+		lull := seg * 3 / 4
+		for k := 0; k < spikes; k++ {
+			base := float64(k) * seg
+			if got := p.factorAt(base); got != 1 {
+				t.Fatalf("spikes=%d: segment %d start → %v, want lull (1)", spikes, k, got)
+			}
+			if got := p.factorAt(base + lull); got != cfg.SpikeFactor {
+				t.Fatalf("spikes=%d: lull edge of segment %d → %v, want spike (%v)", spikes, k, got, cfg.SpikeFactor)
+			}
+			if got := p.factorAt(base + lull*0.999999); got != 1 {
+				t.Fatalf("spikes=%d: just inside lull %d → %v, want 1", spikes, k, got)
+			}
+			if got := p.factorAt(base + lull + p.spike*0.5); got != cfg.SpikeFactor {
+				t.Fatalf("spikes=%d: mid-spike %d → %v, want %v", spikes, k, got, cfg.SpikeFactor)
+			}
+		}
+		// t == span computes pos == seg up to drift in either direction; the
+		// pinned rule says it wraps to the (virtual) next lull.
+		if got := p.factorAt(cfg.TimeSpan); got != 1 {
+			t.Fatalf("spikes=%d: factorAt(span) = %v, want 1", spikes, got)
+		}
+		if got := p.factorAt(cfg.TimeSpan + 1e-6); got != 0 {
+			t.Fatalf("spikes=%d: beyond span = %v, want 0", spikes, got)
+		}
+		if got := p.factorAt(-1e-9); got != 0 {
+			t.Fatalf("spikes=%d: before zero = %v, want 0", spikes, got)
+		}
+	}
+}
+
+// TestTraceReplayDeterminism: the same trace and seed must reproduce the
+// identical task list, and the arrivals must be exactly the trace's.
+func TestTraceReplayDeterminism(t *testing.T) {
+	csv := `# production burst extract
+time,type
+10.5,0
+11.0,3
+11.2,0
+40.0,1
+41.5,2
+2999.0,4
+`
+	arrivals, types, err := ParseTraceCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 6 || types == nil {
+		t.Fatalf("parsed %d arrivals, types %v", len(arrivals), types)
+	}
+	cfg := DefaultConfig(0)
+	cfg.Model = ModelTrace
+	cfg.Trace = TraceConfig{Arrivals: arrivals, Types: types}
+	a := mustGenerate(t, cfg)
+	b := mustGenerate(t, cfg)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("trace replay produced %d/%d tasks, want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline || a[i].Type != b[i].Type {
+			t.Fatalf("task %d differs between identical trace replays", i)
+		}
+		if a[i].Arrival != arrivals[i] || a[i].Type != types[i] {
+			t.Fatalf("task %d is (%v, %d), trace says (%v, %d)",
+				i, a[i].Arrival, a[i].Type, arrivals[i], types[i])
+		}
+	}
+	// A different seed keeps arrivals but redraws deadlines.
+	cfg.Seed++
+	c := mustGenerate(t, cfg)
+	sameDeadlines := true
+	for i := range a {
+		if c[i].Arrival != a[i].Arrival {
+			t.Fatalf("seed change moved trace arrival %d", i)
+		}
+		sameDeadlines = sameDeadlines && c[i].Deadline == a[i].Deadline
+	}
+	if sameDeadlines {
+		t.Fatal("seed change did not affect deadline draws")
+	}
+}
+
+func TestTraceCSVUntypedAndHeaderless(t *testing.T) {
+	arrivals, types, err := ParseTraceCSV(strings.NewReader("1.0\n2.5\n\n3.5\n"))
+	if err != nil || len(arrivals) != 3 || types != nil {
+		t.Fatalf("untyped parse: arrivals %v types %v err %v", arrivals, types, err)
+	}
+	if _, _, err := ParseTraceCSV(strings.NewReader("time\n1.0\nbogus\n")); err == nil {
+		t.Fatal("bad timestamp after data accepted")
+	}
+	if _, _, err := ParseTraceCSV(strings.NewReader("1.0,2\n2.0\n")); err == nil {
+		t.Fatal("mixed typed/untyped rows accepted")
+	}
+	// Only the FIRST non-comment row may be a header: a second non-numeric
+	// row before any valid data is corruption, not a header, and must
+	// error rather than silently vanish from the trace.
+	if _, _, err := ParseTraceCSV(strings.NewReader("time,type\n1e5x,3\n7.0,1\n")); err == nil {
+		t.Fatal("corrupted leading data row silently skipped")
+	}
+	arrivals, _, err = ParseTraceCSV(strings.NewReader("# comment\ntime,type\n7.0,1\n"))
+	if err != nil || len(arrivals) != 1 {
+		t.Fatalf("comment + header + data failed: %v %v", arrivals, err)
+	}
+}
+
+// TestTraceSpanTruncation: arrivals beyond TimeSpan drop; none within is an
+// error, not a panic.
+func TestTraceSpanTruncation(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Model = ModelTrace
+	cfg.TimeSpan = 100
+	cfg.Trace = TraceConfig{Arrivals: []float64{10, 50, 150, 2000}}
+	tasks := mustGenerate(t, cfg)
+	if len(tasks) != 2 {
+		t.Fatalf("span truncation kept %d tasks, want 2", len(tasks))
+	}
+	cfg.Trace = TraceConfig{Arrivals: []float64{150, 2000}}
+	if _, err := Generate(testMatrix, cfg); err == nil || !strings.Contains(err.Error(), "within TimeSpan") {
+		t.Fatalf("all-truncated trace: err = %v", err)
+	}
+}
+
+// TestDiurnalRateIntegral: the declared curve must integrate to NumTasks
+// for both sinusoidal (fractional cycles included) and piecewise curves.
+func TestDiurnalRateIntegral(t *testing.T) {
+	for _, d := range []DiurnalConfig{
+		{Cycles: 1, Amplitude: 0.8},
+		{Cycles: 2.5, Amplitude: 0.6, Phase: 1.1},
+		{Pieces: []RatePiece{{Until: 0.3, Level: 2}, {Until: 0.9, Level: 0.25}, {Until: 1, Level: 4}}},
+	} {
+		cfg := cfgWith(9000, ModelDiurnal)
+		cfg.Diurnal = d
+		model, err := NewArrivalModel(cfg, testMatrix.NumTaskTypes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := integrateRate(model, 0, cfg.TimeSpan)
+		if math.Abs(got-9000) > 0.01*9000 {
+			t.Errorf("%+v: rate integral %v, want ~9000", d, got)
+		}
+	}
+}
+
+// TestGenerateWithMatchesGenerate: the compiled-model fast path and the
+// convenience path must agree exactly.
+func TestGenerateWithMatchesGenerate(t *testing.T) {
+	cfg := cfgWith(4000, ModelSpiky)
+	model, err := NewArrivalModel(cfg, testMatrix.NumTaskTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustGenerate(t, cfg)
+	b := GenerateWith(testMatrix, model, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline {
+			t.Fatalf("task %d differs between Generate and GenerateWith", i)
+		}
+	}
+}

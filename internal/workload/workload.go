@@ -1,9 +1,11 @@
 // Package workload generates the synthetic task streams the paper evaluates
-// on (Section V-B): per-task-type arrival processes with Gamma-distributed
-// inter-arrival times (variance 10% of the mean), under either a constant
-// rate or a "spiky" rate profile (rate rises to 3x the base during spikes;
-// each spike lasts one third of a lull period), plus the hard-deadline
-// assignment of Eq. 4:
+// on (Section V-B). Arrivals come from a pluggable ArrivalModel (see
+// arrivals.go): the paper's default is per-task-type Gamma inter-arrival
+// times (variance 10% of the mean) under a "spiky" rate profile (rate rises
+// to 3x the base during spikes; each spike lasts one third of a lull
+// period), but homogeneous/inhomogeneous Poisson, Markov-modulated Poisson
+// and trace-replay models plug in at the same seam. Every model shares the
+// hard-deadline assignment of Eq. 4:
 //
 //	deadline = arrival + avg(type) + beta * avg(all),  beta ~ U[0.8, 2.5].
 //
@@ -14,6 +16,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"prunesim/internal/pet"
@@ -21,46 +24,24 @@ import (
 	"prunesim/internal/task"
 )
 
-// Pattern selects the arrival-rate profile.
-type Pattern uint8
-
-const (
-	// Constant keeps each task type's arrival rate fixed for the whole span.
-	Constant Pattern = iota
-	// Spiky alternates lull and spike periods; during a spike the arrival
-	// rate rises to SpikeFactor times the base rate. This mimics arrival
-	// patterns observed in production video platforms and is the paper's
-	// default.
-	Spiky
-)
-
-// String names the pattern.
-func (p Pattern) String() string {
-	switch p {
-	case Constant:
-		return "constant"
-	case Spiky:
-		return "spiky"
-	default:
-		return "unknown"
-	}
-}
-
 // Config parameterizes one workload trial.
 type Config struct {
-	// Pattern is the arrival profile (paper default: Spiky).
-	Pattern Pattern
+	// Model selects the arrival model: ModelSpiky (the paper default, also
+	// chosen when empty), ModelConstant, ModelPoisson, ModelDiurnal,
+	// ModelMMPP or ModelTrace.
+	Model string
 	// NumTasks is the target expected number of tasks across all types
-	// (the paper's oversubscription knob: 15K, 20K, 25K).
+	// (the paper's oversubscription knob: 15K, 20K, 25K). Ignored by
+	// ModelTrace, whose task count is the trace length.
 	NumTasks int
 	// TimeSpan is the workload duration in time units (paper Fig. 6: 3000).
 	TimeSpan float64
-	// NumSpikes is the number of spikes across the span (Spiky only).
+	// NumSpikes is the number of spikes across the span (ModelSpiky only).
 	NumSpikes int
 	// SpikeFactor multiplies the base rate during spikes (paper: 3).
 	SpikeFactor float64
 	// IATVarianceFrac is the inter-arrival Gamma variance as a fraction of
-	// the mean (paper: 0.10).
+	// the mean (paper: 0.10; Gamma models only).
 	IATVarianceFrac float64
 	// BetaLo and BetaHi bound the per-task uniform slack multiplier beta
 	// (paper: [0.8, 2.5]).
@@ -69,8 +50,16 @@ type Config struct {
 	// for the value-aware pruning extension. Both zero means every task has
 	// unit value (the paper's baseline).
 	ValueLo, ValueHi float64
+	// Diurnal parameterizes the inhomogeneous-Poisson rate curve
+	// (ModelDiurnal only).
+	Diurnal DiurnalConfig
+	// MMPP parameterizes the Markov-modulated Poisson process
+	// (ModelMMPP only).
+	MMPP MMPPConfig
+	// Trace holds replayed arrival timestamps (ModelTrace only).
+	Trace TraceConfig
 	// Seed is the workload family seed; Trial varies arrival times within
-	// the same rate/pattern (the paper runs 30 trials per configuration).
+	// the same rate/model (the paper runs 30 trials per configuration).
 	Seed  uint64
 	Trial int
 }
@@ -79,7 +68,7 @@ type Config struct {
 // oversubscription level (total task count).
 func DefaultConfig(numTasks int) Config {
 	return Config{
-		Pattern:         Spiky,
+		Model:           ModelSpiky,
 		NumTasks:        numTasks,
 		TimeSpan:        3000,
 		NumSpikes:       8,
@@ -93,29 +82,34 @@ func DefaultConfig(numTasks int) Config {
 
 // Generate builds one workload trial against the given PET matrix (the
 // matrix supplies avg_i and avg_all for the deadline formula). Tasks are
-// returned sorted by arrival time with IDs assigned in arrival order.
-func Generate(m *pet.Matrix, cfg Config) []*task.Task {
-	validate(cfg)
+// returned sorted by arrival time with IDs assigned in arrival order. An
+// invalid configuration is reported as an error, never a panic — the
+// serving layer turns it into a failed job.
+func Generate(m *pet.Matrix, cfg Config) ([]*task.Task, error) {
+	model, err := NewArrivalModel(cfg, m.NumTaskTypes())
+	if err != nil {
+		return nil, err
+	}
+	return GenerateWith(m, model, cfg), nil
+}
+
+// GenerateWith is Generate with a pre-compiled arrival model; callers
+// running many trials of one configuration compile once and reuse it.
+// The model must have been built from cfg (and the matrix's type count)
+// via NewArrivalModel.
+func GenerateWith(m *pet.Matrix, model ArrivalModel, cfg Config) []*task.Task {
 	nt := m.NumTaskTypes()
-	profile := newProfile(cfg)
 	var all []*task.Task
 	for tt := 0; tt < nt; tt++ {
 		// Independent sub-stream per (trial, type): arrival processes of
-		// different types never interfere.
+		// different types never interfere. Deadline and value draws share
+		// the type's stream, interleaved with its arrival draws, so the
+		// (seed, trial) pair pins the full task list bit-for-bit.
 		rng := randx.Split(cfg.Seed, uint64(cfg.Trial)*1000003+uint64(tt))
-		// Expected tasks of this type and the base (lull) rate that yields
-		// them given the profile's rate inflation.
-		perType := float64(cfg.NumTasks) / float64(nt)
-		baseRate := perType / (cfg.TimeSpan * profile.meanRateFactor())
-		meanIAT := 1 / baseRate
-		shape := meanIAT / cfg.IATVarianceFrac // Gamma: var = mean^2/shape = frac*mean
-		// Arrivals are generated on a "warped clock" that runs at the
-		// profile's instantaneous rate factor, so spikes compress
-		// inter-arrival gaps by SpikeFactor without changing their shape.
-		warped := rng.Gamma(shape, meanIAT/shape)
+		stream := model.Stream(tt, cfg.Trial, rng)
 		for {
-			t := profile.unwarp(warped)
-			if t > cfg.TimeSpan {
+			t, ok := stream.Next()
+			if !ok {
 				break
 			}
 			beta := rng.Uniform(cfg.BetaLo, cfg.BetaHi)
@@ -125,7 +119,6 @@ func Generate(m *pet.Matrix, cfg Config) []*task.Task {
 				tk.Value = rng.Uniform(cfg.ValueLo, cfg.ValueHi)
 			}
 			all = append(all, tk)
-			warped += rng.Gamma(shape, meanIAT/shape)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -141,31 +134,16 @@ func Generate(m *pet.Matrix, cfg Config) []*task.Task {
 }
 
 // Rate returns the aggregate instantaneous arrival rate (tasks per time
-// unit, all types combined) the configuration targets at time t. Used to
-// reproduce the paper's Figure 6.
-func Rate(cfg Config, m *pet.Matrix, t float64) float64 {
-	validate(cfg)
-	profile := newProfile(cfg)
-	base := float64(cfg.NumTasks) / (cfg.TimeSpan * profile.meanRateFactor())
-	return base * profile.factorAt(t)
-}
-
-func validate(cfg Config) {
-	switch {
-	case cfg.NumTasks <= 0:
-		panic("workload: NumTasks must be positive")
-	case cfg.TimeSpan <= 0:
-		panic("workload: TimeSpan must be positive")
-	case cfg.IATVarianceFrac <= 0:
-		panic("workload: IATVarianceFrac must be positive")
-	case cfg.BetaHi < cfg.BetaLo:
-		panic("workload: BetaHi must be >= BetaLo")
-	case cfg.ValueHi > 0 && (cfg.ValueLo <= 0 || cfg.ValueHi < cfg.ValueLo):
-		panic("workload: task values require 0 < ValueLo <= ValueHi")
-	case cfg.Pattern == Spiky && (cfg.NumSpikes <= 0 || cfg.SpikeFactor <= 1):
-		panic(fmt.Sprintf("workload: spiky pattern requires NumSpikes > 0 and SpikeFactor > 1, got %d, %v",
-			cfg.NumSpikes, cfg.SpikeFactor))
+// unit, all types combined) the configuration targets at time t. It
+// compiles the arrival model on every call; per-timestep sweeps (Fig. 6,
+// the arrivals sensitivity driver) should compile once with
+// NewArrivalModel and query the model's own Rate instead.
+func Rate(cfg Config, m *pet.Matrix, t float64) (float64, error) {
+	model, err := NewArrivalModel(cfg, m.NumTaskTypes())
+	if err != nil {
+		return 0, err
 	}
+	return model.Rate(t), nil
 }
 
 // profile captures the piecewise-constant rate factor r(t) >= 1 relative to
@@ -180,7 +158,7 @@ type profile struct {
 }
 
 func newProfile(cfg Config) profile {
-	if cfg.Pattern == Constant {
+	if modelName(cfg) == ModelConstant {
 		return profile{constant: true, span: cfg.TimeSpan}
 	}
 	// Each of the NumSpikes segments is a lull followed by a spike whose
@@ -196,16 +174,35 @@ func newProfile(cfg Config) profile {
 	}
 }
 
+// boundaryEpsFrac is the relative tolerance factorAt snaps segment
+// positions with. Computing a position inside a segment via
+// t - floor(t/seg)*seg drifts by a few ULPs when seg does not divide the
+// span exactly (e.g. 7 spikes over 3000 time units); without snapping, a
+// query at an exact boundary could land on either side depending on
+// rounding. The pinned semantics: a spike begins AT pos == lull, and a
+// position at the very end of a segment belongs to the next segment's lull
+// (so factorAt(span) == 1 for whole segments).
+const boundaryEpsFrac = 1e-9
+
 // factorAt returns r(t).
 func (p profile) factorAt(t float64) float64 {
-	if p.constant || t < 0 || t > p.span {
-		if p.constant && t >= 0 && t <= p.span {
-			return 1
-		}
+	if t < 0 || t > p.span {
 		return 0
 	}
+	if p.constant {
+		return 1
+	}
 	seg := p.lull + p.spike
-	pos := t - float64(int(t/seg))*seg
+	pos := t - math.Floor(t/seg)*seg
+	eps := seg * boundaryEpsFrac
+	switch {
+	case seg-pos < eps:
+		// Within drift of the segment end: the start of the next segment.
+		pos = 0
+	case math.Abs(pos-p.lull) < eps:
+		// Within drift of the lull/spike edge: the spike starts here.
+		pos = p.lull
+	}
 	if pos < p.lull {
 		return 1
 	}
@@ -237,4 +234,24 @@ func (p profile) unwarp(w float64) float64 {
 		return t + rem
 	}
 	return t + p.lull + (rem-p.lull)/p.factor
+}
+
+// warp is unwarp's inverse: W(t), the r-weighted clock at real time t.
+func (p profile) warp(t float64) float64 {
+	if p.constant {
+		return t
+	}
+	seg := p.lull + p.spike
+	n := math.Floor(t / seg)
+	rem := t - n*seg
+	w := n * (p.lull + p.factor*p.spike)
+	if rem <= p.lull {
+		return w + rem
+	}
+	return w + p.lull + (rem-p.lull)*p.factor
+}
+
+// errf builds a workload-prefixed configuration error.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("workload: "+format, args...)
 }

@@ -115,5 +115,9 @@ func (p *Platform) Run(tasks []*Task) (*Result, error) {
 // RunTrial generates workload trial number `trial` from cfg and runs it.
 func (p *Platform) RunTrial(wcfg WorkloadConfig, trial int) (*Result, error) {
 	wcfg.Trial = trial
-	return p.Run(GenerateWorkload(p.cfg.Matrix, wcfg))
+	tasks, err := GenerateWorkload(p.cfg.Matrix, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(tasks)
 }

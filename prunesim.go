@@ -15,7 +15,7 @@
 //		Pruning:      prunesim.DefaultPruning(matrix.NumTaskTypes()),
 //	})
 //	// ...
-//	tasks := prunesim.GenerateWorkload(matrix, prunesim.DefaultWorkload(15000))
+//	tasks, err := prunesim.GenerateWorkload(matrix, prunesim.DefaultWorkload(15000))
 //	result, err := platform.Run(tasks)
 //	fmt.Printf("robustness: %.1f%%\n", result.Robustness)
 //
@@ -101,17 +101,37 @@ type (
 	TaskStatus = task.Status
 	// WorkloadConfig parameterizes a workload trial.
 	WorkloadConfig = workload.Config
-	// ArrivalPattern selects constant or spiky arrivals.
-	ArrivalPattern = workload.Pattern
+	// ArrivalModel is a compiled arrival process: a declared rate curve
+	// plus per-type arrival streams (see internal/workload).
+	ArrivalModel = workload.ArrivalModel
 )
 
-// Arrival patterns.
+// Arrival model names (WorkloadConfig.Model).
 const (
-	// ConstantArrival keeps the rate fixed across the span.
-	ConstantArrival = workload.Constant
 	// SpikyArrival alternates lulls with 3x-rate spikes (paper default).
-	SpikyArrival = workload.Spiky
+	SpikyArrival = workload.ModelSpiky
+	// ConstantArrival keeps the rate fixed across the span.
+	ConstantArrival = workload.ModelConstant
+	// PoissonArrival is a homogeneous Poisson process.
+	PoissonArrival = workload.ModelPoisson
+	// DiurnalArrival is an inhomogeneous Poisson process over a
+	// declarative (sinusoidal or piecewise) rate curve, sampled by
+	// thinning.
+	DiurnalArrival = workload.ModelDiurnal
+	// MMPPArrival is a Markov-modulated Poisson process (bursty).
+	MMPPArrival = workload.ModelMMPP
+	// TraceArrival replays explicit arrival timestamps.
+	TraceArrival = workload.ModelTrace
 )
+
+// ArrivalModelNames lists the arrival models workloads can select.
+func ArrivalModelNames() []string { return workload.ModelNames() }
+
+// NewArrivalModel validates cfg and compiles its arrival model for the
+// matrix's task types; reuse the model across trials and rate queries.
+func NewArrivalModel(cfg WorkloadConfig, m *PETMatrix) (ArrivalModel, error) {
+	return workload.NewArrivalModel(cfg, m.NumTaskTypes())
+}
 
 // Task terminal statuses (subset of the full pipeline states).
 const (
@@ -137,14 +157,16 @@ func NewTask(id, taskType int, arrival, deadline float64) *Task {
 func DefaultWorkload(numTasks int) WorkloadConfig { return workload.DefaultConfig(numTasks) }
 
 // GenerateWorkload builds one workload trial (tasks sorted by arrival, IDs
-// in arrival order, deadlines per Eq. 4).
-func GenerateWorkload(m *PETMatrix, cfg WorkloadConfig) []*Task {
+// in arrival order, deadlines per Eq. 4). Invalid configurations are
+// reported as errors, never panics.
+func GenerateWorkload(m *PETMatrix, cfg WorkloadConfig) ([]*Task, error) {
 	return workload.Generate(m, cfg)
 }
 
 // ArrivalRate returns the configured aggregate arrival rate at time t
-// (reproduces Figure 6).
-func ArrivalRate(cfg WorkloadConfig, m *PETMatrix, t float64) float64 {
+// (reproduces Figure 6). Per-timestep sweeps should compile once with
+// NewArrivalModel and query the model's Rate instead.
+func ArrivalRate(cfg WorkloadConfig, m *PETMatrix, t float64) (float64, error) {
 	return workload.Rate(cfg, m, t)
 }
 

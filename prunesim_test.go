@@ -170,7 +170,7 @@ func TestEnergyFacade(t *testing.T) {
 
 func TestFigureRegistryViaFacade(t *testing.T) {
 	names := prunesim.FigureNames()
-	if len(names) != 12 {
+	if len(names) != 13 { // 12 paper figures/ablations + the arrivals sensitivity driver
 		t.Fatalf("figure names: %v", names)
 	}
 	fr, err := prunesim.RunFigure("6", prunesim.FigureOptions{Trials: 1, Scale: 0.05, Seed: 1, Parallelism: 1})
@@ -248,7 +248,11 @@ func TestAssessCalibrationViaFacade(t *testing.T) {
 	wcfg := prunesim.DefaultWorkload(2000)
 	wcfg.TimeSpan = 600
 	wcfg.NumSpikes = 2
-	rep, err := p.AssessCalibration(prunesim.GenerateWorkload(matrix, wcfg), 10)
+	tasks, err := prunesim.GenerateWorkload(matrix, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.AssessCalibration(tasks, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
