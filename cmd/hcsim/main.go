@@ -32,6 +32,7 @@ func main() {
 		trials       = flag.Int("trials", 0, "override the scenario's trial count")
 		parallelism  = flag.Int("parallelism", 0, "override the scenario's max concurrent trials")
 		scale        = flag.Float64("scale", 0, "override the scenario's workload scale factor")
+		pace         = flag.Float64("pace", 0, "run trials sequentially against a real clock this many times faster than simulated time (0 = as fast as possible)")
 		outPath      = flag.String("out", "", "write the full outcome (scenario + per-trial results) as JSON")
 
 		heuristic   = flag.String("heuristic", "MM", "mapping heuristic (RR, MET, MCT, KPB, OLB, MM, MSD, MMU, MaxMin, Sufferage, FCFS-RR, EDF, SJF)")
@@ -58,12 +59,13 @@ func main() {
 			parallelism: *parallelism,
 			scale:       *scale,
 			seed:        *seed,
+			pace:        *pace,
 			out:         *outPath,
 			energy:      *energyFlag,
 		})
 		return
 	}
-	for _, name := range []string{"trials", "parallelism", "scale", "out"} {
+	for _, name := range []string{"trials", "parallelism", "scale", "pace", "out"} {
 		if flagSet(name) {
 			fatal(fmt.Errorf("-%s applies only with -scenario", name))
 		}
@@ -147,6 +149,7 @@ type overrides struct {
 	parallelism int
 	scale       float64
 	seed        uint64
+	pace        float64
 	out         string
 	energy      bool
 }
@@ -172,7 +175,17 @@ func runScenario(path string, o overrides) {
 	if flagSet("seed") {
 		sc.Run.Seed = o.seed
 	}
-	outcome, err := prunesim.RunScenario(sc)
+	var outcome *prunesim.ScenarioOutcome
+	if o.pace != 0 {
+		// Paced mode plays the scenario against the wall clock (o.pace
+		// simulated time units per second of ×1 speedup) — live demos of
+		// machine churn rather than batch throughput.
+		outcome, err = prunesim.RunScenarioPaced(sc, o.pace, func(p prunesim.ScenarioTrialProgress) {
+			fmt.Fprintf(os.Stderr, "trial %d/%d robustness %.2f%%\n", p.Done, p.Total, p.Robustness)
+		})
+	} else {
+		outcome, err = prunesim.RunScenario(sc)
+	}
 	if err != nil {
 		fatal(err)
 	}

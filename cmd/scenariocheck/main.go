@@ -45,8 +45,8 @@ func main() {
 			continue
 		}
 		pattern := sc.Workload.Pattern
-		fmt.Printf("ok    %-40s pattern=%-9s tasks=%-6d heuristic=%-8s trials=%d\n",
-			filepath.Base(path), pattern, sc.Workload.Tasks, sc.Platform.Heuristic, sc.Run.Trials)
+		fmt.Printf("ok    %-40s pattern=%-9s tasks=%-6d heuristic=%-8s trials=%-3d events=%d\n",
+			filepath.Base(path), pattern, sc.Workload.Tasks, sc.Platform.Heuristic, sc.Run.Trials, len(sc.Events))
 	}
 	fmt.Printf("%d scenario(s), %d invalid\n", len(paths), failed)
 	if failed > 0 {

@@ -1,0 +1,73 @@
+// Package clock abstracts the passage of simulation time. The simulator
+// announces every timestamp it is about to process through a Clock; the
+// Clock decides whether any wall time elapses.
+//
+// Two implementations cover the repo's needs: Simulated (the default — time
+// is purely logical, a simulated week of platform events finishes as fast
+// as the CPU allows) and Real (wall-paced playback at a configurable
+// speedup, for watching a scenario unfold live, e.g. hcsim -pace).
+//
+// Ownership rule: the simulation loop is the only caller of Advance, and it
+// calls it with non-decreasing timestamps (the event queue guarantees the
+// order). Clocks therefore never need to handle time running backwards;
+// Real treats a regression as "already due" and returns immediately.
+package clock
+
+import "time"
+
+// Clock receives every simulation timestamp before the corresponding event
+// executes. Implementations must be cheap when no pacing is wanted: the
+// simulator calls Advance once per event.
+type Clock interface {
+	// Advance declares that simulation time has reached t (in workload time
+	// units). It returns when the event at t may execute.
+	Advance(t float64)
+}
+
+// Simulated is the pure logical clock: Advance never blocks, so trials run
+// at full CPU speed. The zero value is ready to use, and a nil Clock in
+// sim.Config means exactly this.
+type Simulated struct{}
+
+// Advance is a no-op: simulated time is free.
+func (Simulated) Advance(float64) {}
+
+// Real paces simulation time against the wall clock: one workload time unit
+// takes 1/Speedup seconds of wall time. The epoch is anchored lazily at the
+// first Advance call, so setup cost (workload generation, PET matrix
+// construction) does not eat into the playback budget.
+//
+// A Real clock is single-goroutine, matching the simulator's use: each
+// trial must own its own instance.
+type Real struct {
+	speedup float64
+	epoch   time.Time
+	base    float64
+	started bool
+}
+
+// NewReal returns a wall-paced clock running at speedup workload time units
+// per wall-clock second. It panics on a non-positive speedup — callers
+// wanting "no pacing" should use Simulated (or a nil Clock) instead.
+func NewReal(speedup float64) *Real {
+	if !(speedup > 0) {
+		panic("clock: speedup must be positive")
+	}
+	return &Real{speedup: speedup}
+}
+
+// Advance sleeps until t is due on the wall clock. The first call anchors
+// the epoch at (now, t), so leading dead time before the first event is not
+// replayed.
+func (r *Real) Advance(t float64) {
+	if !r.started {
+		r.epoch = time.Now()
+		r.base = t
+		r.started = true
+		return
+	}
+	due := r.epoch.Add(time.Duration((t - r.base) / r.speedup * float64(time.Second)))
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}

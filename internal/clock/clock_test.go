@@ -1,0 +1,60 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatedNeverBlocks(t *testing.T) {
+	var c Simulated
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		c.Advance(float64(i) * 1e6)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Simulated.Advance blocked: %v for 1000 calls", elapsed)
+	}
+}
+
+func TestNewRealRejectsBadSpeedup(t *testing.T) {
+	for _, s := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewReal(%v) did not panic", s)
+				}
+			}()
+			NewReal(s)
+		}()
+	}
+}
+
+func TestRealFirstAdvanceIsFree(t *testing.T) {
+	c := NewReal(1) // 1 time unit per second
+	start := time.Now()
+	c.Advance(5000) // huge leading offset must NOT be replayed
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("first Advance slept %v; epoch anchoring should make it free", elapsed)
+	}
+}
+
+func TestRealPacesRelativeToEpoch(t *testing.T) {
+	// 1000 units/second: 50 units after the epoch should take ~50ms.
+	c := NewReal(1000)
+	c.Advance(100)
+	start := time.Now()
+	c.Advance(150)
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("Advance returned after %v; want ~50ms of pacing", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Advance slept %v; want ~50ms", elapsed)
+	}
+	// A timestamp already in the past returns immediately.
+	start = time.Now()
+	c.Advance(150)
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("due timestamp slept %v", since)
+	}
+}

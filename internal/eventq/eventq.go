@@ -1,9 +1,10 @@
 // Package eventq provides the time-ordered priority queue that drives the
 // discrete-event simulator. Events with equal timestamps pop in insertion
-// order (FIFO tie-break), which keeps simulations deterministic.
+// order (FIFO tie-break), which keeps simulations deterministic: the
+// ordering key is the pair (Time, insertion sequence) and nothing else, so
+// two runs that push the same events in the same order pop them in the
+// same order, bit for bit.
 package eventq
-
-import "container/heap"
 
 // Kind discriminates simulator events.
 type Kind uint8
@@ -13,6 +14,10 @@ const (
 	KindArrival Kind = iota
 	// KindCompletion is a machine finishing its running task.
 	KindCompletion
+	// KindPlatform is a scheduled platform change (machine fail/join/
+	// degrade/restore). TaskID indexes the simulation's platform-event
+	// schedule instead of a task.
+	KindPlatform
 )
 
 // String names the kind.
@@ -22,26 +27,47 @@ func (k Kind) String() string {
 		return "arrival"
 	case KindCompletion:
 		return "completion"
+	case KindPlatform:
+		return "platform"
 	default:
 		return "unknown"
 	}
 }
 
 // Event is a scheduled simulator occurrence. TaskID and Machine carry the
-// payload (Machine is -1 for arrivals).
+// payload (Machine is -1 for arrivals; for KindPlatform events TaskID is an
+// index into the platform-event schedule).
 type Event struct {
 	Time    float64
 	Kind    Kind
 	TaskID  int
 	Machine int
+	// Gen stamps KindCompletion events with the generation of the machine
+	// that scheduled them. When a machine fails, the simulator bumps its
+	// generation, so an already-queued completion of a task the failure
+	// orphaned pops with a stale Gen and is discarded instead of completing
+	// a task that never ran to the end.
+	Gen uint64
 
 	seq uint64 // insertion order for deterministic tie-breaking
 }
 
+// before reports whether e orders strictly before o: earlier time wins,
+// insertion order breaks ties.
+func (e Event) before(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	return e.seq < o.seq
+}
+
 // Queue is a min-heap of events ordered by (Time, insertion order). The zero
-// value is ready to use.
+// value is ready to use. The heap is hand-rolled over []Event rather than
+// container/heap so Push/Pop never box events into interface values — the
+// queue sits on the simulator's hot path and stays allocation-free in
+// steady state.
 type Queue struct {
-	h   eventHeap
+	h   []Event
 	seq uint64
 }
 
@@ -49,7 +75,8 @@ type Queue struct {
 func (q *Queue) Push(e Event) {
 	e.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. It panics if the queue is
@@ -58,7 +85,15 @@ func (q *Queue) Pop() Event {
 	if len(q.h) == 0 {
 		panic("eventq: Pop on empty queue")
 	}
-	return heap.Pop(&q.h).(Event)
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = Event{}
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
 }
 
 // Peek returns the earliest event without removing it. It panics if empty.
@@ -72,25 +107,32 @@ func (q *Queue) Peek() Event {
 // Len returns the number of scheduled events.
 func (q *Queue) Len() int { return len(q.h) }
 
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && q.h[r].before(q.h[l]) {
+			least = r
+		}
+		if !q.h[least].before(q.h[i]) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }

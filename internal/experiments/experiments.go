@@ -136,6 +136,9 @@ type point struct {
 	// arrival, when non-nil, overrides the whole workload spec — the
 	// arrivals sensitivity driver uses it to select diurnal/mmpp curves.
 	arrival *scenario.Workload
+	// events schedules platform events (failures, joins, degradation,
+	// surges) during every trial; times are unscaled, like the span.
+	events []scenario.EventSpec
 }
 
 // scenario lowers a sweep point to a Scenario with the harness options
@@ -173,6 +176,7 @@ func (h *harness) scenario(p point) scenario.Scenario {
 	if p.valued {
 		sc.Workload.ValueLo, sc.Workload.ValueHi = 1, 5
 	}
+	sc.Events = p.events
 	return sc
 }
 

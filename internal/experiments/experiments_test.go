@@ -12,7 +12,7 @@ func quickOpt() Options {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	want := []string{"10a", "10b", "6", "7a", "7b", "8", "9a", "9b", "a1", "a2", "a3", "a4", "arrivals"}
+	want := []string{"10a", "10b", "6", "7a", "7b", "8", "9a", "9b", "a1", "a2", "a3", "a4", "arrivals", "churn"}
 	if len(names) != len(want) {
 		t.Fatalf("figure names = %v, want %v", names, want)
 	}
@@ -200,6 +200,32 @@ func TestArrivalsSensitivity(t *testing.T) {
 	for _, model := range []string{"spiky", "poisson", "diurnal", "mmpp"} {
 		if series[model] != 3 {
 			t.Fatalf("model %s has %d rows, want 3 (series: %v)", model, series[model], series)
+		}
+	}
+}
+
+// TestChurnSensitivity smoke-tests the platform-churn driver: every
+// (platform, toggle, heuristic) cell must run to a sane robustness, and the
+// churn cells must actually execute their event schedules (a zero-event
+// churn run would silently compare static against static).
+func TestChurnSensitivity(t *testing.T) {
+	fr, err := Run("churn", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != 12 { // 2 platforms x 3 toggle variants x 2 heuristics
+		t.Fatalf("rows = %d, want 12", len(fr.Rows))
+	}
+	series := map[string]int{}
+	for _, r := range fr.Rows {
+		series[r.Series]++
+		if r.Robustness.Mean < 0 || r.Robustness.Mean > 100 {
+			t.Fatalf("row %s|%s robustness %v", r.Series, r.X, r.Robustness.Mean)
+		}
+	}
+	for _, s := range []string{"MM/static", "MM/churn", "MSD/static", "MSD/churn"} {
+		if series[s] != 3 {
+			t.Fatalf("series %s has %d rows, want 3 (%v)", s, series[s], series)
 		}
 	}
 }

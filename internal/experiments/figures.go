@@ -30,6 +30,10 @@ var drivers = map[string]func(*harness) (*FigureResult, error){
 	// comparison across arrival models, probing whether the pruning
 	// mechanism's benefit survives arrival shapes the paper never tested.
 	"arrivals": arrivalsSensitivity,
+	// churn is not a paper figure either: it repeats the toggle comparison
+	// on a platform that fails, rejoins, degrades and surges mid-trial,
+	// probing whether pruning's benefit survives machine churn.
+	"churn": churnSensitivity,
 }
 
 // toggleVariants are the three dropping policies of Figure 7.
@@ -418,6 +422,62 @@ func arrivalsSensitivity(h *harness) (*FigureResult, error) {
 				numTasks:  tasks,
 				arrival:   &wl,
 			}))
+		}
+	}
+	rows, err := h.robustnessRows(cells)
+	if err != nil {
+		return nil, err
+	}
+	fr.Rows = rows
+	return fr, nil
+}
+
+// churnEvents is the platform-event schedule of the churn driver, spread
+// over the paper's 3000-unit span: an outage with a late rejoin, a
+// degradation window, a scheduled maintenance window and an arrival surge —
+// every event class the simulator supports. Times are unscaled; run.scale
+// compresses them with the span.
+func churnEvents() []scenario.EventSpec {
+	m2, m5, m7 := 2, 5, 7
+	return []scenario.EventSpec{
+		{At: 600, Action: scenario.ActionFail, Machine: &m2},
+		{At: 900, Action: scenario.ActionDegrade, Machine: &m5, Factor: 1.8},
+		{At: 1000, Until: 1400, Action: scenario.ActionSurge, Factor: 1.5},
+		{At: 1500, Action: scenario.ActionJoin, Machine: &m2},
+		{At: 1800, Until: 2200, Action: scenario.ActionMaintenance, Machine: &m7},
+		{At: 2100, Action: scenario.ActionRestore, Machine: &m5},
+	}
+}
+
+// churnSensitivity reruns the Figure 7b toggle comparison (MM/MSD, batch
+// mode, 15K tasks) on a platform under churn. The paper assumes a static
+// machine set; this driver asks whether the reactive Toggle's advantage
+// survives failures, slowdowns and load surges, comparing each policy
+// against its own static baseline.
+func churnSensitivity(h *harness) (*FigureResult, error) {
+	fr := &FigureResult{
+		Name:        "churn",
+		Title:       "Sensitivity: Toggle policies under platform churn (MM/MSD, 15K)",
+		Expectation: "churn lowers absolute robustness but preserves the toggle ordering; pruned variants degrade more gracefully than unpruned",
+	}
+	var cells []scenario.Cell
+	for _, platform := range []struct {
+		label  string
+		events []scenario.EventSpec
+	}{
+		{"static", nil},
+		{"churn", churnEvents()},
+	} {
+		for _, tv := range toggleVariants {
+			for _, heur := range []string{"MM", "MSD"} {
+				cells = append(cells, h.cell(heur+"/"+platform.label, tv.label, point{
+					heuristic: heur,
+					prune:     prune7(tv.mode, true),
+					pattern:   workload.ModelSpiky,
+					numTasks:  15000,
+					events:    platform.events,
+				}))
+			}
 		}
 	}
 	rows, err := h.robustnessRows(cells)

@@ -28,6 +28,7 @@ type refMachine struct {
 	runComp  *pmf.PMF
 	pending  []Entry
 	stale    bool
+	down     bool
 }
 
 func (m *refMachine) baselinePCT(now float64) *pmf.PMF {
@@ -141,6 +142,29 @@ func (m *refMachine) dropPending(now float64, shouldDrop func(e Entry) bool) []*
 	return dropped
 }
 
+func (m *refMachine) fail() []*task.Task {
+	var orphans []*task.Task
+	if m.running != nil {
+		orphans = append(orphans, m.running)
+		m.running = nil
+		m.runComp = nil
+	}
+	for _, e := range m.pending {
+		orphans = append(orphans, e.Task)
+	}
+	m.pending = nil
+	m.stale = false
+	m.down = true
+	return orphans
+}
+
+func (m *refMachine) rejoin() { m.down = false }
+
+func (m *refMachine) setPET(lookup PETLookup) {
+	m.pet = lookup
+	m.stale = true
+}
+
 func (m *refMachine) refreshPCTs(now float64) {
 	prev := m.baselinePCT(now)
 	for i := range m.pending {
@@ -181,6 +205,9 @@ const (
 	opRefresh
 	opAdvance
 	opObserve // ExpectedReady + ChanceIfEnqueued (cache-exercising reads)
+	opFail    // platform failure: orphan everything, go down
+	opJoin    // rejoin a failed machine
+	opSwapPET // degradation/restoration: swap the PET lookup mid-stream
 	numOpKinds
 )
 
@@ -221,11 +248,22 @@ func randomPET() PETLookup {
 	return func(taskType int) *pmf.PMF { return pets[taskType] }
 }
 
+// degradedPET is randomPET stretched by 1.5 — the lookup a degrade platform
+// event would install.
+func degradedPET(base PETLookup) PETLookup {
+	pets := make([]*pmf.PMF, 3)
+	for k := range pets {
+		pets[k] = pmf.Stretch(base(k), 1.5)
+	}
+	return func(taskType int) *pmf.PMF { return pets[taskType] }
+}
+
 // TestPropIncrementalEquivalentToFullRecompute drives the incremental
 // machine and the full-recompute reference through identical randomized
 // operation sequences and requires bitwise-equal queue state throughout.
 func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
 	lookup := randomPET()
+	slowLookup := degradedPET(lookup)
 	f := func(sc equivScenario) bool {
 		inc := New(0, 0, lookup, 1)
 		scratch := &pmf.Scratch{}
@@ -256,6 +294,9 @@ func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
 			arg := sc.args[step]
 			switch op {
 			case opEnqueue:
+				if inc.Down() {
+					continue // the simulator never maps onto a down machine
+				}
 				tt := int(arg) % 3
 				a := task.New(nextID, tt, now, now+float64(arg%17)+1)
 				b := task.New(nextID, tt, now, now+float64(arg%17)+1)
@@ -263,6 +304,9 @@ func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
 				inc.Enqueue(a, now)
 				ref.enqueue(b, now)
 			case opStart:
+				if inc.Down() {
+					continue
+				}
 				st := inc.StartNext(now)
 				rt := ref.startNext(now)
 				if (st == nil) != (rt == nil) {
@@ -295,7 +339,42 @@ func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
 				ref.refreshPCTs(now)
 			case opAdvance:
 				now += float64(arg%13) * 0.4
+			case opFail:
+				if inc.Down() {
+					continue
+				}
+				oi := inc.Fail()
+				or := ref.fail()
+				if len(oi) != len(or) {
+					t.Logf("step %d: orphans %d vs %d", step, len(oi), len(or))
+					return false
+				}
+				for i := range oi {
+					if oi[i].ID != or[i].ID {
+						t.Logf("step %d: orphan order mismatch", step)
+						return false
+					}
+				}
+			case opJoin:
+				if !inc.Down() {
+					continue
+				}
+				inc.Rejoin()
+				ref.rejoin()
+			case opSwapPET:
+				if inc.Down() {
+					continue
+				}
+				next := lookup
+				if arg&1 == 1 {
+					next = slowLookup
+				}
+				inc.SetPET(next)
+				ref.setPET(next)
 			case opObserve:
+				if inc.Down() {
+					continue
+				}
 				if er, rr := inc.ExpectedReady(now), ref.expectedReady(now); math.Float64bits(er) != math.Float64bits(rr) {
 					t.Logf("step %d: ExpectedReady %v vs %v", step, er, rr)
 					return false
@@ -322,6 +401,48 @@ func TestPropIncrementalEquivalentToFullRecompute(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFailRejoinMatchesFreshMachine pins the churn invariant directly: a
+// machine that failed and rejoined is bitwise-indistinguishable from a
+// machine that never existed before the rejoin — the incremental PCT state
+// carries nothing across the failure.
+func TestFailRejoinMatchesFreshMachine(t *testing.T) {
+	lookup := randomPET()
+	churned := New(0, 0, lookup, 1)
+	churned.SetScratch(&pmf.Scratch{})
+	for i := 0; i < 5; i++ {
+		churned.Enqueue(task.New(i, i%3, 0, 50), 0)
+	}
+	churned.StartNext(0)
+	orphans := churned.Fail()
+	if len(orphans) != 5 {
+		t.Fatalf("orphans %d, want 5 (running first)", len(orphans))
+	}
+	if orphans[0].ID != 0 {
+		t.Fatalf("running task must orphan first, got %d", orphans[0].ID)
+	}
+	if !churned.Down() || churned.PendingCount() != 0 || !churned.Idle() {
+		t.Fatalf("bad post-fail state: %v", churned)
+	}
+	churned.Rejoin()
+
+	fresh := New(0, 0, lookup, 1)
+	fresh.SetScratch(&pmf.Scratch{})
+	now := 3.0
+	for i := 10; i < 14; i++ {
+		churned.Enqueue(task.New(i, i%3, now, now+40), now)
+		fresh.Enqueue(task.New(i, i%3, now, now+40), now)
+	}
+	cp, fp := churned.Pending(), fresh.Pending()
+	for i := range cp {
+		if err := pmfBitwise(cp[i].PCT, fp[i].PCT); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+	}
+	if math.Float64bits(churned.ExpectedReady(now)) != math.Float64bits(fresh.ExpectedReady(now)) {
+		t.Fatal("ExpectedReady differs from fresh machine after fail/rejoin")
 	}
 }
 

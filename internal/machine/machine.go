@@ -88,6 +88,7 @@ type Machine struct {
 	running           *task.Task
 	runningCompletion *pmf.PMF // absolute-time completion PMF of the running task
 	pending           []Entry
+	down              bool // failed and not yet rejoined
 
 	// Incremental-PCT state. Invariant: pending[:validTo] hold exactly the
 	// PCTs a full reconvolution from the anchor identified by chainKey
@@ -485,8 +486,74 @@ func (m *Machine) RefreshPCTs(now float64) {
 	m.reconvolve(start, prev)
 }
 
+// Down reports whether the machine has failed and not yet rejoined.
+// Heuristics must not map onto a down machine; the simulator never starts
+// work on one.
+func (m *Machine) Down() bool { return m.down }
+
+// Fail takes the machine down, returning every task it was holding — the
+// running task first, then the pending queue in FCFS order — so the caller
+// can requeue them elsewhere. The orphans' status and machine assignment
+// are NOT modified (mirroring DropPending): the simulator decides what
+// requeueing means. All PCT state is discarded; a later Rejoin starts from
+// an empty chain, so the incremental invariant trivially matches a
+// from-scratch rebuild. It panics if the machine is already down.
+func (m *Machine) Fail() []*task.Task {
+	if m.down {
+		panic(fmt.Sprintf("machine %d: Fail while already down", m.id))
+	}
+	var orphans []*task.Task
+	if m.running != nil {
+		orphans = append(orphans, m.running)
+		m.running = nil
+		m.scratch.Put(m.runningCompletion)
+		m.runningCompletion = nil
+	}
+	for i := range m.pending {
+		orphans = append(orphans, m.pending[i].Task)
+		m.scratch.Put(m.pending[i].PCT)
+		m.pending[i] = Entry{}
+	}
+	m.pending = m.pending[:0]
+	m.chainKey = anchorKey{}
+	m.validTo = 0
+	// An orphaned task may run on this machine again later with a cut bin
+	// that collides with a pre-fail cached anchor; drop the anchor cache so
+	// the (kind, runID, bin) key can never alias across the failure.
+	m.anchorBufKey = anchorKey{}
+	m.down = true
+	m.bumpVer()
+	return orphans
+}
+
+// Rejoin brings a failed machine back up, idle and empty. It panics if the
+// machine is not down.
+func (m *Machine) Rejoin() {
+	if !m.down {
+		panic(fmt.Sprintf("machine %d: Rejoin while up", m.id))
+	}
+	m.down = false
+	m.bumpVer()
+}
+
+// SetPET swaps the machine's execution-time lookup — degradation or
+// restoration changes what convolution operand every queued task
+// contributes — and invalidates the whole PCT chain, since each pending PCT
+// was convolved from the old distributions. The running task's completion
+// belief is deliberately kept: execution is non-preemptive and its
+// distribution was fixed at start time.
+func (m *Machine) SetPET(lookup PETLookup) {
+	if lookup == nil {
+		panic(fmt.Sprintf("machine %d: SetPET with nil lookup", m.id))
+	}
+	m.pet = lookup
+	m.chainKey = anchorKey{}
+	m.validTo = 0
+	m.bumpVer()
+}
+
 // String summarizes the machine state.
 func (m *Machine) String() string {
-	return fmt.Sprintf("machine{id=%d type=%d running=%v pending=%d}",
-		m.id, m.typeIdx, m.running != nil, len(m.pending))
+	return fmt.Sprintf("machine{id=%d type=%d down=%v running=%v pending=%d}",
+		m.id, m.typeIdx, m.down, m.running != nil, len(m.pending))
 }

@@ -1,0 +1,60 @@
+package pmf
+
+import "math"
+
+// Stretch returns the distribution of factor*X where X ~ d, keeping the bin
+// width. It models machine degradation: a machine running at 1/factor of
+// its nominal speed executes every task factor times slower, so its PET —
+// and everything convolved from it — stretches by factor on the time axis.
+//
+// Each source bin's mass sits at the representative time (origin+i)*width
+// and maps to factor*(origin+i)*width, which generally falls between two
+// destination bins; the mass is split linearly between them (the same
+// interpolation a histogram rebinning uses), so the stretched mean tracks
+// factor*Mean(d) closely even for factors that are not whole numbers. Tail
+// mass stays tail mass: +infinity times any positive factor is still past
+// every deadline. If the stretched support would exceed DefaultMaxBins, the
+// overflow folds into the tail — conservative, like every other truncation
+// in this package.
+//
+// Stretch panics on a non-positive or non-finite factor. A factor of 1
+// returns a clone. The result is deterministic: same input bits, same
+// output bits.
+func Stretch(d *PMF, factor float64) *PMF {
+	if !(factor > 0) || math.IsInf(factor, 1) {
+		panic("pmf: stretch factor must be positive and finite")
+	}
+	if factor == 1 {
+		return d.Clone()
+	}
+	n := len(d.p)
+	lo0 := int(math.Floor(float64(d.origin) * factor))
+	size := int(math.Floor(float64(d.origin+n-1)*factor)) + 2 - lo0
+	tail := d.tail
+	if size > DefaultMaxBins {
+		size = DefaultMaxBins
+	}
+	masses := make([]float64, size)
+	for i, m := range d.p {
+		if m == 0 {
+			continue
+		}
+		x := float64(d.origin+i) * factor
+		lo := math.Floor(x)
+		frac := x - lo
+		li := int(lo) - lo0
+		if li >= size {
+			tail += m
+			continue
+		}
+		masses[li] += m * (1 - frac)
+		if frac > 0 {
+			if li+1 >= size {
+				tail += m * frac
+			} else {
+				masses[li+1] += m * frac
+			}
+		}
+	}
+	return New(lo0, d.width, masses, tail)
+}

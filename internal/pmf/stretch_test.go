@@ -1,0 +1,125 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+
+	"prunesim/internal/randx"
+)
+
+func randomStretchPMF(rng *randx.RNG, withTail bool) *PMF {
+	n := 2 + rng.IntN(30)
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = rng.Float64()
+	}
+	masses[0] += 0.1 // guarantee positive total
+	tail := 0.0
+	if withTail {
+		tail = 0.2 * rng.Float64()
+	}
+	return New(rng.IntN(5), 1.0, masses, tail)
+}
+
+func TestStretchIdentity(t *testing.T) {
+	rng := randx.New(0x57e7c4)
+	d := randomStretchPMF(rng, true)
+	s := Stretch(d, 1)
+	if !d.Equal(s, 0) {
+		t.Fatal("Stretch(d, 1) != d")
+	}
+	if s == d {
+		t.Fatal("Stretch(d, 1) must clone, not alias")
+	}
+}
+
+func TestStretchMeanAndMass(t *testing.T) {
+	rng := randx.New(0x57e7c5)
+	for iter := 0; iter < 200; iter++ {
+		d := randomStretchPMF(rng, iter%3 == 0)
+		factor := 0.25 + 4*rng.Float64()
+		s := Stretch(d, factor)
+		if got := s.TotalMass(); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("iter %d: total mass %v after stretch by %v", iter, got, factor)
+		}
+		if math.Abs(s.Tail()-d.Tail()) > 1e-12 {
+			t.Fatalf("iter %d: tail changed %v -> %v", iter, d.Tail(), s.Tail())
+		}
+		// Linear mass splitting preserves the (finite) mean exactly up to
+		// float rounding: each bin's mass m at time x lands as
+		// m*(1-frac)*lo + m*frac*(lo+1), whose first moment is m*x. Mean()
+		// synthesizes a position for tail mass, so compare tail-free PMFs.
+		if d.Tail() == 0 {
+			wantMean := factor * d.Mean()
+			if gotMean := s.Mean(); math.Abs(gotMean-wantMean) > 1e-6*(1+math.Abs(wantMean)) {
+				t.Fatalf("iter %d: mean %v, want %v (factor %v)", iter, gotMean, wantMean, factor)
+			}
+		}
+	}
+}
+
+func TestStretchDeterministic(t *testing.T) {
+	d := randomStretchPMF(randx.New(0x57e7c6), true)
+	a, b := Stretch(d, 1.7), Stretch(d, 1.7)
+	if !pmfIdentical(a, b) {
+		t.Fatal("Stretch is not bitwise deterministic")
+	}
+}
+
+// pmfIdentical compares two PMFs bit-for-bit.
+func pmfIdentical(a, b *PMF) bool {
+	if a.Origin() != b.Origin() || a.NumBins() != b.NumBins() ||
+		math.Float64bits(a.Tail()) != math.Float64bits(b.Tail()) {
+		return false
+	}
+	for i := 0; i < a.NumBins(); i++ {
+		bin := a.Origin() + i
+		if math.Float64bits(a.Mass(bin)) != math.Float64bits(b.Mass(bin)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStretchOverflowFoldsIntoTail(t *testing.T) {
+	// A wide support stretched past DefaultMaxBins must fold the overflow
+	// into the tail (the cap bounds support length, not absolute indices).
+	masses := make([]float64, 3000)
+	for i := range masses {
+		masses[i] = 1
+	}
+	d := New(0, 1.0, masses, 0)
+	s := Stretch(d, 3)
+	if got := s.TotalMass(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("total mass %v after overflow fold", got)
+	}
+	if s.Tail() == 0 {
+		t.Fatal("expected overflow mass in tail")
+	}
+	if s.NumBins() > DefaultMaxBins {
+		t.Fatalf("support %d exceeds DefaultMaxBins", s.NumBins())
+	}
+}
+
+func TestStretchRejectsBadFactor(t *testing.T) {
+	d := Delta(5, 1)
+	for _, f := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Stretch(d, %v) did not panic", f)
+				}
+			}()
+			Stretch(d, f)
+		}()
+	}
+}
+
+func TestStretchDelta(t *testing.T) {
+	// A point mass at t=10 stretched by 2.5 lands at 25 exactly (integer
+	// destination bin, no split).
+	s := Stretch(Delta(10, 1), 2.5)
+	if got := s.Mean(); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("stretched delta mean %v, want 25", got)
+	}
+}

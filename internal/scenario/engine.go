@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"prunesim/internal/clock"
 	"prunesim/internal/pet"
 	"prunesim/internal/sched"
 	"prunesim/internal/sim"
@@ -54,6 +55,13 @@ type Engine struct {
 	// falls back to the scenario's own setting (Run) or GOMAXPROCS
 	// (Sweep).
 	Parallelism int
+	// NewClock, when non-nil, supplies each trial's simulation clock (see
+	// internal/clock); it is called once per trial because a wall-paced
+	// clock anchors its epoch on first use and must not be shared. Nil —
+	// the default — runs on pure simulated time. Pacing many parallel
+	// trials against the wall clock rarely makes sense, so callers
+	// supplying real clocks usually also set Parallelism 1.
+	NewClock func() clock.Clock
 
 	mu       sync.Mutex
 	matrices map[matrixKey]*pet.Matrix
@@ -262,6 +270,7 @@ type compiled struct {
 	matrix *pet.Matrix
 	wcfg   workload.Config // Trial left at 0; set per trial
 	model  workload.ArrivalModel
+	events []sim.PlatformEvent // Run.Scale applied; shared read-only by trials
 }
 
 // compile builds a normalized scenario's trial-independent state. Workload
@@ -276,7 +285,15 @@ func (e *Engine) compile(s Scenario) (*compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	return &compiled{matrix: matrix, wcfg: wcfg, model: model}, nil
+	events, windows, err := s.compileEvents(s.Run.Scale, matrix.NumMachineTypes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	model, err = workload.WithRateWindows(model, windows, wcfg, matrix.NumTaskTypes())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: events: %w", s.Name, err)
+	}
+	return &compiled{matrix: matrix, wcfg: wcfg, model: model, events: events}, nil
 }
 
 // runTrial executes one trial of a compiled scenario. A panic anywhere
@@ -324,6 +341,10 @@ func (e *Engine) runTrial(s Scenario, c *compiled, trial int) (res *sim.Result, 
 	if len(tasks) <= 2*exclude+1 {
 		exclude = len(tasks) / 4
 	}
+	var ck clock.Clock
+	if e.NewClock != nil {
+		ck = e.NewClock()
+	}
 	return sim.Run(matrix, tasks, sim.Config{
 		Mode:            mode,
 		Heuristic:       h,
@@ -332,6 +353,8 @@ func (e *Engine) runTrial(s Scenario, c *compiled, trial int) (res *sim.Result, 
 		Prune:           prune,
 		Seed:            s.Run.Seed ^ 0xabcd,
 		ExcludeBoundary: exclude,
+		Events:          c.events,
+		Clock:           ck,
 	})
 }
 

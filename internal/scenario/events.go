@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prunesim/internal/pet"
+	"prunesim/internal/sim"
+	"prunesim/internal/workload"
+)
+
+// Event action names accepted by EventSpec.Action.
+const (
+	// ActionFail takes a machine down at `at`: its running and queued tasks
+	// go back to the arrival queue and are re-mapped by later mapping
+	// events.
+	ActionFail = "fail"
+	// ActionJoin brings a failed machine back (`machine`) or adds `count`
+	// fresh machines to the cluster (`machine_type` selects their PET
+	// column; omitted cycles round-robin).
+	ActionJoin = "join"
+	// ActionDegrade slows a machine by `factor` (> 1 = slower) from `at`
+	// on: ground-truth executions stretch and the scheduler's PET belief
+	// stretches with them. Factors are absolute, not cumulative.
+	ActionDegrade = "degrade"
+	// ActionRestore returns a degraded machine to nominal speed.
+	ActionRestore = "restore"
+	// ActionMaintenance is a scheduled outage: sugar for fail at `at` plus
+	// join at `until`.
+	ActionMaintenance = "maintenance"
+	// ActionSurge scales the arrival rate by `factor` inside [at, until):
+	// > 1 superposes extra Poisson arrivals, < 1 thins the base stream.
+	ActionSurge = "surge"
+)
+
+// EventSpec declares one scheduled platform event in a scenario's `events`
+// block. Times are in unscaled workload time units (the same clock as
+// workload.time_span); run.scale compresses them together with the span.
+type EventSpec struct {
+	// At is the event time, within [0, workload.time_span].
+	At float64 `json:"at"`
+	// Until ends a maintenance window or surge window (required for those
+	// actions, forbidden otherwise); at < until <= time_span.
+	Until float64 `json:"until,omitempty"`
+	// Action is one of "fail", "join", "degrade", "restore",
+	// "maintenance" or "surge".
+	Action string `json:"action"`
+	// Machine targets a machine by index. Required for fail, degrade,
+	// restore and maintenance; selects the rejoining machine for join.
+	Machine *int `json:"machine,omitempty"`
+	// Count adds that many fresh machines on a capacity join (join without
+	// a machine index).
+	Count int `json:"count,omitempty"`
+	// MachineType is the PET column of capacity-joined machines; omitted
+	// cycles through the matrix's machine types round-robin.
+	MachineType *int `json:"machine_type,omitempty"`
+	// Factor is the degrade slowdown (> 1 = slower) or the surge rate
+	// multiplier.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// errEvent builds a per-event validation error.
+func errEvent(i int, spec EventSpec, format string, args ...any) error {
+	return fmt.Errorf("events[%d] (%s at %v): %s", i, spec.Action, spec.At, fmt.Sprintf(format, args...))
+}
+
+// compileEvents lowers the scenario's events block into the simulator's
+// platform-event schedule (times multiplied by scale, stably sorted) plus
+// the arrival-rate windows of its surge events. machineTypes is the PET
+// machine-type count of the scenario's profile. The compiled schedule is
+// validated with sim.ValidateEvents, so state-machine errors (failing a
+// machine twice, rejoining a machine that is up) surface at schema level.
+func (s Scenario) compileEvents(scale float64, machineTypes int) ([]sim.PlatformEvent, []workload.RateWindow, error) {
+	if len(s.Events) == 0 {
+		return nil, nil, nil
+	}
+	span := s.Workload.TimeSpan
+	var evs []sim.PlatformEvent
+	var windows []workload.RateWindow
+	for i, e := range s.Events {
+		if math.IsNaN(e.At) || math.IsInf(e.At, 0) || e.At < 0 || e.At > span {
+			return nil, nil, errEvent(i, e, "at must be within [0, %v]", span)
+		}
+		windowed := e.Action == ActionMaintenance || e.Action == ActionSurge
+		if windowed {
+			if math.IsNaN(e.Until) || math.IsInf(e.Until, 0) || e.Until <= e.At || e.Until > span {
+				return nil, nil, errEvent(i, e, "needs at < until <= %v, got until %v", span, e.Until)
+			}
+		} else if e.Until != 0 {
+			return nil, nil, errEvent(i, e, "until applies only to maintenance and surge")
+		}
+		if e.Factor != 0 && e.Action != ActionDegrade && e.Action != ActionSurge {
+			return nil, nil, errEvent(i, e, "factor applies only to degrade and surge")
+		}
+		if (e.Count != 0 || e.MachineType != nil) && e.Action != ActionJoin {
+			return nil, nil, errEvent(i, e, "count and machine_type apply only to capacity joins")
+		}
+		needMachine := func() error {
+			if e.Machine == nil || *e.Machine < 0 {
+				return errEvent(i, e, "needs a machine index")
+			}
+			return nil
+		}
+		switch e.Action {
+		case ActionFail:
+			if err := needMachine(); err != nil {
+				return nil, nil, err
+			}
+			evs = append(evs, sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformFail, Machine: *e.Machine})
+		case ActionJoin:
+			if e.Machine != nil {
+				if *e.Machine < 0 {
+					return nil, nil, errEvent(i, e, "needs a machine index")
+				}
+				if e.Count != 0 || e.MachineType != nil {
+					return nil, nil, errEvent(i, e, "rejoin takes a machine index only — drop count/machine_type")
+				}
+				evs = append(evs, sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformJoin, Machine: *e.Machine})
+				break
+			}
+			if e.Count <= 0 {
+				return nil, nil, errEvent(i, e, "capacity join needs count > 0 (or a machine index to rejoin)")
+			}
+			mt := -1
+			if e.MachineType != nil {
+				mt = *e.MachineType
+			}
+			evs = append(evs, sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformJoin, Machine: -1, Count: e.Count, MachineType: mt})
+		case ActionDegrade:
+			if err := needMachine(); err != nil {
+				return nil, nil, err
+			}
+			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+				return nil, nil, errEvent(i, e, "factor must be positive and finite, got %v", e.Factor)
+			}
+			evs = append(evs, sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformDegrade, Machine: *e.Machine, Factor: e.Factor})
+		case ActionRestore:
+			if err := needMachine(); err != nil {
+				return nil, nil, err
+			}
+			evs = append(evs, sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformRestore, Machine: *e.Machine})
+		case ActionMaintenance:
+			if err := needMachine(); err != nil {
+				return nil, nil, err
+			}
+			evs = append(evs,
+				sim.PlatformEvent{Time: e.At * scale, Kind: sim.PlatformFail, Machine: *e.Machine},
+				sim.PlatformEvent{Time: e.Until * scale, Kind: sim.PlatformJoin, Machine: *e.Machine})
+		case ActionSurge:
+			if e.Machine != nil {
+				return nil, nil, errEvent(i, e, "surge applies to the whole cluster — drop machine")
+			}
+			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+				return nil, nil, errEvent(i, e, "factor must be positive and finite, got %v", e.Factor)
+			}
+			windows = append(windows, workload.RateWindow{From: e.At * scale, Until: e.Until * scale, Factor: e.Factor})
+		default:
+			return nil, nil, errEvent(i, e, "unknown action (want fail, join, degrade, restore, maintenance or surge)")
+		}
+	}
+	// Declaration order breaks ties between equal-time events (a
+	// maintenance window ending exactly when another begins, say), matching
+	// the event queue's FIFO tie-break downstream.
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].Time < evs[b].Time })
+	if err := sim.ValidateEvents(s.Platform.Machines, machineTypes, evs); err != nil {
+		return nil, nil, fmt.Errorf("events: %w", err)
+	}
+	return evs, windows, nil
+}
+
+// machineTypeCount is the PET machine-type count of a normalized scenario's
+// profile, known without building the matrix.
+func (s Scenario) machineTypeCount() int {
+	if s.Platform.Profile == ProfileHomogeneous {
+		return 1
+	}
+	return len(pet.MachineTypeNames)
+}

@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prunesim/internal/randx"
+	"prunesim/internal/sim"
+	"prunesim/internal/workload"
+)
+
+func intp(v int) *int { return &v }
+
+// churnScenario is tiny() plus a representative events block exercising
+// every action.
+func churnScenario() Scenario {
+	s := tiny()
+	s.Name = "churn"
+	s.Events = []EventSpec{
+		{At: 600, Action: ActionFail, Machine: intp(2)},
+		{At: 900, Action: ActionDegrade, Machine: intp(5), Factor: 1.8},
+		{At: 1000, Until: 1400, Action: ActionSurge, Factor: 1.5},
+		{At: 1200, Action: ActionJoin, Count: 2},
+		{At: 1500, Action: ActionJoin, Machine: intp(2)},
+		{At: 1800, Until: 2200, Action: ActionMaintenance, Machine: intp(7)},
+		{At: 2100, Action: ActionRestore, Machine: intp(5)},
+	}
+	return s
+}
+
+func TestCompileEventsLowersActions(t *testing.T) {
+	s, err := churnScenario().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, windows, err := s.compileEvents(1, s.machineTypeCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 specs minus the surge (a rate window, not a platform event), plus
+	// one extra from maintenance lowering to fail+join.
+	if len(evs) != 7 {
+		t.Fatalf("compiled %d platform events, want 7: %+v", len(evs), evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("compiled schedule out of order at %d: %+v", i, evs)
+		}
+	}
+	wantKinds := []sim.PlatformEventKind{
+		sim.PlatformFail, sim.PlatformDegrade, sim.PlatformJoin, sim.PlatformJoin,
+		sim.PlatformFail, sim.PlatformRestore, sim.PlatformJoin,
+	}
+	for i, k := range wantKinds {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d kind %v, want %v (%+v)", i, evs[i].Kind, k, evs)
+		}
+	}
+	if evs[4].Machine != 7 || evs[4].Time != 1800 || evs[6].Machine != 7 || evs[6].Time != 2200 {
+		t.Errorf("maintenance did not lower to fail@1800 + join@2200: %+v", evs)
+	}
+	if len(windows) != 1 || windows[0] != (workload.RateWindow{From: 1000, Until: 1400, Factor: 1.5}) {
+		t.Errorf("surge window wrong: %+v", windows)
+	}
+}
+
+func TestCompileEventsErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []EventSpec
+		wantSub string
+	}{
+		{"unknown action", []EventSpec{{At: 1, Action: "explode", Machine: intp(0)}}, "unknown action"},
+		{"negative at", []EventSpec{{At: -1, Action: ActionFail, Machine: intp(0)}}, "within"},
+		{"at beyond span", []EventSpec{{At: 9000, Action: ActionFail, Machine: intp(0)}}, "within"},
+		{"nan at", []EventSpec{{At: math.NaN(), Action: ActionFail, Machine: intp(0)}}, "within"},
+		{"fail without machine", []EventSpec{{At: 1, Action: ActionFail}}, "machine index"},
+		{"stray until", []EventSpec{{At: 1, Until: 5, Action: ActionFail, Machine: intp(0)}}, "until applies only"},
+		{"stray factor", []EventSpec{{At: 1, Action: ActionFail, Machine: intp(0), Factor: 2}}, "factor applies only"},
+		{"stray count", []EventSpec{{At: 1, Action: ActionFail, Machine: intp(0), Count: 2}}, "capacity joins"},
+		{"join without target", []EventSpec{{At: 1, Action: ActionJoin}}, "count > 0"},
+		{"rejoin with count", []EventSpec{{At: 1, Action: ActionJoin, Machine: intp(0), Count: 2}}, "machine index only"},
+		{"degrade without factor", []EventSpec{{At: 1, Action: ActionDegrade, Machine: intp(0)}}, "factor must be positive"},
+		{"maintenance inverted window", []EventSpec{{At: 10, Until: 5, Action: ActionMaintenance, Machine: intp(0)}}, "at < until"},
+		{"maintenance beyond span", []EventSpec{{At: 10, Until: 9000, Action: ActionMaintenance, Machine: intp(0)}}, "at < until"},
+		{"surge with machine", []EventSpec{{At: 1, Until: 5, Action: ActionSurge, Machine: intp(0), Factor: 2}}, "whole cluster"},
+		{"surge bad factor", []EventSpec{{At: 1, Until: 5, Action: ActionSurge, Factor: -1}}, "factor must be positive"},
+		{"machine out of range", []EventSpec{{At: 1, Action: ActionFail, Machine: intp(99)}}, "events:"},
+		{"double fail", []EventSpec{
+			{At: 1, Action: ActionFail, Machine: intp(0)},
+			{At: 2, Action: ActionFail, Machine: intp(0)},
+		}, "events:"},
+		{"join while up", []EventSpec{{At: 1, Action: ActionJoin, Machine: intp(0)}}, "events:"},
+		{"overlapping surges", []EventSpec{
+			{At: 1, Until: 100, Action: ActionSurge, Factor: 2},
+			{At: 50, Until: 200, Action: ActionSurge, Factor: 0.5},
+		}, "overlaps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tiny()
+			s.Events = tc.events
+			_, err := s.Normalize()
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestHashStableWithoutEvents pins the hard guarantee from ISSUE 6: adding
+// the events field must not move the content hash of any existing scenario.
+// Both a nil and a zero-length events slice are omitted by encoding/json,
+// so pre-events cache entries stay valid.
+func TestHashStableWithoutEvents(t *testing.T) {
+	base := tiny()
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty := tiny()
+	withEmpty.Events = []EventSpec{}
+	h2, err := withEmpty.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("empty events block moved the hash: %s vs %s", h1, h2)
+	}
+	churn, err := churnScenario().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn == h1 {
+		t.Fatal("a non-empty events block must change the hash")
+	}
+}
+
+// TestEngineEmptyEventsMatchesNoEvents: running a scenario whose events
+// field is an empty slice must produce a DeepEqual outcome to the same
+// scenario without the field — the static path is untouched.
+func TestEngineEmptyEventsMatchesNoEvents(t *testing.T) {
+	eng := NewEngine(2)
+	plain, err := eng.Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty := tiny()
+	withEmpty.Events = []EventSpec{}
+	emptied, err := eng.Run(withEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Results, emptied.Results) {
+		t.Fatal("empty events block changed trial results")
+	}
+	if plain.Robustness != emptied.Robustness {
+		t.Fatalf("robustness moved: %+v vs %+v", plain.Robustness, emptied.Robustness)
+	}
+}
+
+// TestEngineChurnDeterministic: a scenario under full churn (failures,
+// joins, degradation, maintenance, surge) reruns to identical outcomes.
+func TestEngineChurnDeterministic(t *testing.T) {
+	s := churnScenario()
+	a, err := NewEngine(2).Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(2).Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatal("churn scenario reruns disagree")
+	}
+	for _, r := range a.Results {
+		if r.PlatformEvents == 0 {
+			t.Fatal("no platform events executed — schedule not wired through")
+		}
+	}
+}
+
+// TestCompileEventsScaleRoundTrip is the time-compression property test:
+// for any run.scale in the accepted range, compiled event times are the
+// unscaled times warped by the scale factor (within relative epsilon),
+// unwarping recovers them, and compression never reorders the schedule.
+func TestCompileEventsScaleRoundTrip(t *testing.T) {
+	s, err := churnScenario().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refWins, err := s.compileEvents(1, s.machineTypeCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.Split(0xc10c4, 1)
+	const relEps = 1e-9
+	for i := 0; i < 200; i++ {
+		scale := 0.01 + rng.Float64()*9.99 // the accepted [0.01, 10] range
+		evs, wins, err := s.compileEvents(scale, s.machineTypeCount())
+		if err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+		if len(evs) != len(ref) || len(wins) != len(refWins) {
+			t.Fatalf("scale %v changed the schedule size", scale)
+		}
+		for j, e := range evs {
+			want := ref[j].Time * scale
+			if math.Abs(e.Time-want) > relEps*math.Max(1, want) {
+				t.Fatalf("scale %v: event %d fires at %v, want %v", scale, j, e.Time, want)
+			}
+			back := e.Time / scale
+			if math.Abs(back-ref[j].Time) > relEps*math.Max(1, ref[j].Time) {
+				t.Fatalf("scale %v: event %d unwarps to %v, want %v", scale, j, back, ref[j].Time)
+			}
+			if e.Kind != ref[j].Kind || e.Machine != ref[j].Machine {
+				t.Fatalf("scale %v reordered the schedule at %d: %+v vs %+v", scale, j, e, ref[j])
+			}
+			if j > 0 && e.Time < evs[j-1].Time {
+				t.Fatalf("scale %v: schedule went backwards at %d", scale, j)
+			}
+		}
+		for j, w := range wins {
+			if math.Abs(w.From-refWins[j].From*scale) > relEps*math.Max(1, w.From) ||
+				math.Abs(w.Until-refWins[j].Until*scale) > relEps*math.Max(1, w.Until) {
+				t.Fatalf("scale %v: window %d is [%v, %v), want [%v, %v)",
+					scale, j, w.From, w.Until, refWins[j].From*scale, refWins[j].Until*scale)
+			}
+		}
+	}
+}
+
+// FuzzEventsCompile feeds arbitrary JSON events blocks through Normalize:
+// compilation must never panic, and whenever it succeeds the compiled
+// schedule must be sorted and pass sim.ValidateEvents.
+func FuzzEventsCompile(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`[{"at": 600, "action": "fail", "machine": 2}]`),
+		[]byte(`[{"at": 100, "action": "join", "count": 3, "machine_type": 1}]`),
+		[]byte(`[{"at": 900, "action": "degrade", "machine": 5, "factor": 1.8}, {"at": 1200, "action": "restore", "machine": 5}]`),
+		[]byte(`[{"at": 1800, "until": 2200, "action": "maintenance", "machine": 7}]`),
+		[]byte(`[{"at": 1000, "until": 1400, "action": "surge", "factor": 1.5}]`),
+		[]byte(`[{"at": -5, "action": "fail"}]`),
+		[]byte(`[{"at": 1e308, "until": 2e308, "action": "surge", "factor": 0}]`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var events []EventSpec
+		if err := json.Unmarshal(data, &events); err != nil {
+			return
+		}
+		s := tiny()
+		s.Events = events
+		n, err := s.Normalize()
+		if err != nil {
+			return // invalid blocks must be rejected cleanly, not panic
+		}
+		evs, _, err := n.compileEvents(n.Run.Scale, n.machineTypeCount())
+		if err != nil {
+			t.Fatalf("normalized scenario failed to compile: %v", err)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				t.Fatalf("compiled schedule out of order: %+v", evs)
+			}
+		}
+		if err := sim.ValidateEvents(n.Platform.Machines, n.machineTypeCount(), evs); err != nil {
+			t.Fatalf("compiled schedule fails revalidation: %v", err)
+		}
+	})
+}

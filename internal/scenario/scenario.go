@@ -59,6 +59,12 @@ type Scenario struct {
 	Platform Platform `json:"platform"`
 	// Prune configures the probabilistic pruning mechanism.
 	Prune Prune `json:"prune"`
+	// Events schedules platform events — machine failures, joins,
+	// degradations, maintenance windows and arrival surges — at fixed
+	// simulation times (see events.go). Omitted or empty means a static
+	// platform: trial outcomes are bitwise-identical to a scenario without
+	// the field, and the content hash is unchanged.
+	Events []EventSpec `json:"events,omitempty"`
 	// Run holds trial, seed, scale and parallelism settings.
 	Run Run `json:"run"`
 }
@@ -510,6 +516,17 @@ func (s Scenario) validate() error {
 		return fmt.Errorf("scenario %q: unknown platform.profile %q (want %q or %q)",
 			s.Name, p.Profile, ProfileStandard, ProfileHomogeneous)
 	}
+	// Compile the events block at scale 1 so schedule errors (bad actions,
+	// out-of-range times, state-machine violations, invalid surge windows)
+	// fail at schema level rather than inside a trial worker.
+	if _, windows, err := s.compileEvents(1, s.machineTypeCount()); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	} else if len(windows) > 0 {
+		if _, err := workload.WithRateWindows(nil, windows, wcfg, len(pet.TaskTypeNames)); err != nil {
+			return fmt.Errorf("scenario %q: events: %w", s.Name, err)
+		}
+	}
+
 	if p.Machines <= 0 {
 		return fmt.Errorf("scenario %q: platform.machines must be positive, got %d", s.Name, p.Machines)
 	}

@@ -28,6 +28,9 @@ func (*OLB) Name() string { return "OLB" }
 func (*OLB) Pick(ctx *Context, _ *task.Task) int {
 	best, bestReady := -1, math.Inf(1)
 	for j, m := range ctx.Machines {
+		if !ctx.Usable(j) {
+			continue
+		}
 		if r := m.ExpectedReady(ctx.Now); r < bestReady {
 			best, bestReady = j, r
 		}
@@ -102,6 +105,9 @@ func (*Sufferage) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 func sufferageOf(ctx *Context, t *task.Task, best float64) float64 {
 	second := math.Inf(1)
 	for j, m := range ctx.Machines {
+		if !ctx.Usable(j) {
+			continue
+		}
 		c := m.ExpectedReady(ctx.Now) + ctx.MeanExec(t.Type, j)
 		if c > best && c < second {
 			second = c

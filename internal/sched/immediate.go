@@ -24,11 +24,20 @@ func NewRR() *RR { return &RR{} }
 // Name implements Immediate.
 func (*RR) Name() string { return "RR" }
 
-// Pick implements Immediate.
+// Pick implements Immediate. Down machines are probed past without losing
+// the cyclic fairness: the cursor advances exactly one position per mapped
+// task, so with a static machine set the walk is identical to the classic
+// modulo increment. Returns -1 when every machine is down.
 func (r *RR) Pick(ctx *Context, _ *task.Task) int {
-	j := r.next % len(ctx.Machines)
-	r.next = (r.next + 1) % len(ctx.Machines)
-	return j
+	n := len(ctx.Machines)
+	for probe := 0; probe < n; probe++ {
+		j := (r.next + probe) % n
+		if ctx.Usable(j) {
+			r.next = (j + 1) % n
+			return j
+		}
+	}
+	return -1
 }
 
 // MET maps each task to the machine with the Minimum Expected execution Time
@@ -46,6 +55,9 @@ func (*MET) Name() string { return "MET" }
 func (*MET) Pick(ctx *Context, t *task.Task) int {
 	best, bestExec := -1, math.Inf(1)
 	for j := range ctx.Machines {
+		if !ctx.Usable(j) {
+			continue
+		}
 		if e := ctx.MeanExec(t.Type, j); e < bestExec {
 			best, bestExec = j, e
 		}
@@ -68,6 +80,9 @@ func (*MCT) Name() string { return "MCT" }
 func (*MCT) Pick(ctx *Context, t *task.Task) int {
 	best, bestC := -1, math.Inf(1)
 	for j, m := range ctx.Machines {
+		if !ctx.Usable(j) {
+			continue
+		}
 		if c := m.ExpectedReady(ctx.Now) + ctx.MeanExec(t.Type, j); c < bestC {
 			best, bestC = j, c
 		}
@@ -95,23 +110,30 @@ func NewKPB(percent float64) *KPB {
 // Name implements Immediate.
 func (*KPB) Name() string { return "KPB" }
 
-// Pick implements Immediate.
+// Pick implements Immediate. K percent is taken of the usable machines, so
+// the heuristic keeps its paper semantics while a failed machine is down
+// (and is unchanged when all machines are up).
 func (k *KPB) Pick(ctx *Context, t *task.Task) int {
-	n := len(ctx.Machines)
+	if cap(k.order) < len(ctx.Machines) {
+		k.order = make([]int, len(ctx.Machines))
+	}
+	// Rank usable machines by expected execution time for this task type.
+	order := k.order[:0]
+	for j := range ctx.Machines {
+		if ctx.Usable(j) {
+			order = append(order, j)
+		}
+	}
+	n := len(order)
+	if n == 0 {
+		return -1
+	}
 	keep := int(math.Ceil(k.percent / 100 * float64(n)))
 	if keep < 1 {
 		keep = 1
 	}
 	if keep > n {
 		keep = n
-	}
-	// Rank machines by expected execution time for this task type.
-	if cap(k.order) < n {
-		k.order = make([]int, n)
-	}
-	order := k.order[:n]
-	for j := range order {
-		order[j] = j
 	}
 	for i := 1; i < n; i++ {
 		for p := i; p > 0 && ctx.MeanExec(t.Type, order[p]) < ctx.MeanExec(t.Type, order[p-1]); p-- {

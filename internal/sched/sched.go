@@ -35,8 +35,18 @@ type Context struct {
 	Slots int
 }
 
-// freeSlots returns how many more tasks machine j can accept.
+// Usable reports whether machine j can accept work: a machine taken down by
+// a platform failure event is invisible to every heuristic until it
+// rejoins. With a static machine set (no platform events) this is always
+// true.
+func (c *Context) Usable(j int) bool { return !c.Machines[j].Down() }
+
+// freeSlots returns how many more tasks machine j can accept. A down
+// machine has none.
 func (c *Context) freeSlots(j int) int {
+	if c.Machines[j].Down() {
+		return 0
+	}
 	if c.Slots <= 0 {
 		return math.MaxInt32
 	}
@@ -109,6 +119,14 @@ func newVirtualState(ctx *Context) *virtualState {
 	v.free = v.free[:n]
 	v.total = 0
 	for j, m := range ctx.Machines {
+		if m.Down() {
+			// No slots and an unreachable ready time: every batch heuristic
+			// routes machine choice through free/ready, so this one branch
+			// hides down machines from all of them.
+			v.ready[j] = math.Inf(1)
+			v.free[j] = 0
+			continue
+		}
 		v.ready[j] = m.ExpectedReady(ctx.Now)
 		f := ctx.freeSlots(j)
 		if f < 0 {

@@ -1,0 +1,157 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"prunesim/internal/scenario"
+	"prunesim/internal/service"
+)
+
+// churnSmoke is the service_smoke scenario under platform churn: a failure
+// before the first spike ends, a degradation, a surge, a capacity join and
+// the failed machine's return. Times live on the smoke scenario's 150-unit
+// span.
+func churnSmoke(t *testing.T) scenario.Scenario {
+	t.Helper()
+	sc := smokeScenario(t)
+	sc.Name = "service_smoke_churn"
+	m2, m5 := 2, 5
+	sc.Events = []scenario.EventSpec{
+		{At: 20, Action: scenario.ActionFail, Machine: &m2},
+		{At: 35, Action: scenario.ActionDegrade, Machine: &m5, Factor: 2},
+		{At: 40, Until: 80, Action: scenario.ActionSurge, Factor: 1.5},
+		{At: 60, Action: scenario.ActionJoin, Count: 1},
+		{At: 90, Action: scenario.ActionJoin, Machine: &m2},
+		{At: 110, Action: scenario.ActionRestore, Machine: &m5},
+	}
+	return sc
+}
+
+// TestChurnScenarioEndToEnd submits a scenario with scheduled platform
+// events and follows its SSE stream: the stream must carry a "platform"
+// event announcing the schedule, mid-trial machine failures must not wedge
+// the single worker, and the job must finish done.
+func TestChurnScenarioEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: 1})
+	sc := churnSmoke(t)
+	body, _ := json.Marshal(map[string]any{"scenario": sc})
+	code, st, raw := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var types []string
+	var platform *service.Event
+	sse := bufio.NewScanner(resp.Body)
+	for sse.Scan() {
+		line := sse.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		types = append(types, ev.Type)
+		if ev.Type == "platform" {
+			evCopy := ev
+			platform = &evCopy
+		}
+		if ev.Type == "done" || ev.Type == "failed" {
+			break
+		}
+	}
+	if err := sse.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last := types[len(types)-1]; last != "done" {
+		t.Fatalf("churn job ended %q (stream: %v)", last, types)
+	}
+	if platform == nil {
+		t.Fatalf("stream carried no platform event: %v", types)
+	}
+	if len(platform.Platform) != len(sc.Events) {
+		t.Fatalf("platform event carries %d specs, want %d", len(platform.Platform), len(sc.Events))
+	}
+	if platform.Platform[0].Action != scenario.ActionFail || platform.Platform[0].At != 20 {
+		t.Fatalf("platform payload mangled: %+v", platform.Platform[0])
+	}
+	// The schedule must precede any per-trial progress: consumers mark
+	// failure times on charts before data starts flowing.
+	for _, ty := range types {
+		if ty == "platform" {
+			break
+		}
+		if ty == "progress" {
+			t.Fatalf("progress before platform in stream: %v", types)
+		}
+	}
+
+	// The worker survives churn jobs: a fresh submission still completes.
+	plain := smokeScenario(t)
+	body2, _ := json.Marshal(map[string]any{"scenario": plain})
+	code2, st2, raw2 := postJob(t, ts, string(body2))
+	if code2 != http.StatusAccepted {
+		t.Fatalf("follow-up submit status %d: %s", code2, raw2)
+	}
+	if got := waitDone(t, ts, st2.ID); got.State != service.StateDone {
+		t.Fatalf("follow-up job ended %s: %s", got.State, got.Error)
+	}
+}
+
+// fetchCSV downloads a done job's trials.csv.
+func fetchCSV(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trials.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trials.csv status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChurnCSVByteStable: the per-trial CSV artifact of a churn scenario is
+// byte-identical across independent servers — platform events do not leak
+// any nondeterminism (map iteration, timing) into results.
+func TestChurnCSVByteStable(t *testing.T) {
+	sc := churnSmoke(t)
+	body, _ := json.Marshal(map[string]any{"scenario": sc})
+	var artifacts [][]byte
+	for i := 0; i < 2; i++ {
+		_, ts := newTestServer(t, service.Config{Workers: 2})
+		code, st, raw := postJob(t, ts, string(body))
+		if code != http.StatusAccepted {
+			t.Fatalf("server %d: submit status %d: %s", i, code, raw)
+		}
+		if got := waitDone(t, ts, st.ID); got.State != service.StateDone {
+			t.Fatalf("server %d: job ended %s: %s", i, got.State, got.Error)
+		}
+		artifacts = append(artifacts, fetchCSV(t, ts, st.ID))
+	}
+	if len(artifacts[0]) == 0 {
+		t.Fatal("empty CSV artifact")
+	}
+	if !bytes.Equal(artifacts[0], artifacts[1]) {
+		t.Fatalf("churn CSV differs across servers:\n%d bytes vs %d bytes",
+			len(artifacts[0]), len(artifacts[1]))
+	}
+}

@@ -29,12 +29,18 @@ const (
 // job ever emitted is retained, so late subscribers replay the full
 // history before going live.
 type Event struct {
-	// Type is "queued", "running", "progress", "done" or "failed".
+	// Type is "queued", "running", "platform", "progress", "done" or
+	// "failed".
 	Type string `json:"type"`
 	// JobID names the emitting job.
 	JobID string `json:"job_id"`
 	// Trial carries per-trial progress (Type "progress" only).
 	Trial *scenario.TrialProgress `json:"trial,omitempty"`
+	// Platform carries the scenario's scheduled platform-event block (Type
+	// "platform" only), published once when a churn scenario starts running
+	// so stream consumers can mark failure/join/degrade times on live
+	// charts.
+	Platform []scenario.EventSpec `json:"platform,omitempty"`
 	// Robustness summarizes the outcome (Type "done" only).
 	Robustness *stats.Summary `json:"robustness,omitempty"`
 	// CacheHit marks a "done" event answered from the result store.

@@ -70,6 +70,9 @@ func (s *Server) process(job *Job) {
 		}
 	}()
 	job.setRunning()
+	if len(job.scenario.Events) > 0 {
+		job.publish(Event{Type: "platform", Platform: job.scenario.Events})
+	}
 	s.metrics.EngineRuns.Add(1)
 	outcome, err := s.engine.RunWithProgress(job.scenario, func(p scenario.TrialProgress) {
 		s.metrics.TrialsDone.Add(1)

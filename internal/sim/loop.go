@@ -43,6 +43,12 @@ func (s *simulator) run() (*Result, error) {
 	for _, m := range s.machines {
 		m.SetScratch(s.scratch)
 	}
+	// Platform events are pushed before arrivals so that at equal
+	// timestamps the platform change pops first (FIFO tie-break): a machine
+	// failing at time t never executes a task arriving at t.
+	for i, pe := range s.cfg.Events {
+		s.events.Push(eventq.Event{Time: pe.Time, Kind: eventq.KindPlatform, TaskID: i, Machine: -1})
+	}
 	for _, t := range s.tasks {
 		t.Status = task.StatusUnarrived
 		t.Machine = -1
@@ -52,6 +58,9 @@ func (s *simulator) run() (*Result, error) {
 	}
 	for s.events.Len() > 0 {
 		e := s.events.Pop()
+		if s.cfg.Clock != nil {
+			s.cfg.Clock.Advance(e.Time)
+		}
 		s.now = e.Time
 		var arrived *task.Task
 		switch e.Kind {
@@ -65,7 +74,14 @@ func (s *simulator) run() (*Result, error) {
 				arrived = t
 			}
 		case eventq.KindCompletion:
+			if e.Gen != s.gen[e.Machine] {
+				// The machine failed after scheduling this completion; the
+				// task was orphaned and requeued. Nothing happened now.
+				continue
+			}
 			s.handleCompletion(e.Machine)
+		case eventq.KindPlatform:
+			s.handlePlatform(s.cfg.Events[e.TaskID])
 		}
 		s.mappingEvent(arrived)
 	}
@@ -105,25 +121,55 @@ func (s *simulator) mappingEvent(arrived *task.Task) {
 	}
 	if s.cfg.Mode == ImmediateMode {
 		if arrived != nil {
-			j := s.imm.Pick(s.schedCtx(), arrived)
-			chance := -1.0
-			if s.cfg.Observer != nil {
-				chance = s.machines[j].ChanceIfEnqueued(arrived.Type, arrived.Deadline, s.now)
-			}
-			s.machines[j].Enqueue(arrived, s.now)
-			s.emitChance(TraceMapped, arrived, j, false, chance)
+			s.batch = append(s.batch, arrived)
 		}
+		s.immediateMap()
 	} else {
 		s.batchMap()
 	}
 	s.startMachines()
 }
 
+// immediateMap drains the immediate-mode arrival queue FCFS through the
+// heuristic's Pick. With a static platform the queue holds at most the
+// triggering arrival, so the Pick/Enqueue sequence is exactly the classic
+// immediate path; tasks only accumulate when every machine is down (Pick
+// returns -1) or a failure orphaned work, and they drain at the next event
+// with capacity.
+func (s *simulator) immediateMap() {
+	if len(s.batch) == 0 {
+		return
+	}
+	mapped := 0
+	for _, t := range s.batch {
+		j := s.imm.Pick(s.schedCtx(), t)
+		if j < 0 {
+			break // no usable machine; keep FCFS order and retry next event
+		}
+		chance := -1.0
+		if s.cfg.Observer != nil {
+			chance = s.machines[j].ChanceIfEnqueued(t.Type, t.Deadline, s.now)
+		}
+		s.machines[j].Enqueue(t, s.now)
+		s.emitChance(TraceMapped, t, j, false, chance)
+		mapped++
+	}
+	if mapped > 0 {
+		n := copy(s.batch, s.batch[mapped:])
+		for i := n; i < len(s.batch); i++ {
+			s.batch[i] = nil
+		}
+		s.batch = s.batch[:n]
+	}
+}
+
 // reactiveSweep drops every queued task whose deadline has already passed
 // (Figure 5 step 1) — the baseline behaviour of the system, active with or
 // without the pruning mechanism.
 func (s *simulator) reactiveSweep() {
-	if s.cfg.Mode == BatchMode && len(s.batch) > 0 {
+	// In immediate mode the arrival queue is non-empty only when platform
+	// events parked or requeued tasks; they age like batch-queued tasks.
+	if len(s.batch) > 0 {
 		kept := s.batch[:0]
 		for _, t := range s.batch {
 			if t.Missed(s.now) {
@@ -230,17 +276,21 @@ func (s *simulator) batchMap() {
 // schedules the corresponding completion events.
 func (s *simulator) startMachines() {
 	for j, m := range s.machines {
-		if !m.Idle() || m.PendingCount() == 0 {
+		if m.Down() || !m.Idle() || m.PendingCount() == 0 {
 			continue
 		}
 		t := m.StartNext(s.now)
 		s.emit(TraceStarted, t, j, false)
-		dur := s.sampleDuration(t, m)
+		// A degraded machine's ground truth stretches by the same factor the
+		// scheduler's PET view does; slow is 1 (exact multiplicative
+		// identity) on a nominal machine.
+		dur := s.sampleDuration(t, m) * s.slow[j]
 		s.events.Push(eventq.Event{
 			Time:    s.now + dur,
 			Kind:    eventq.KindCompletion,
 			TaskID:  t.ID,
 			Machine: j,
+			Gen:     s.gen[j],
 		})
 	}
 }
@@ -266,6 +316,9 @@ func (s *simulator) schedCtx() *sched.Context {
 func (s *simulator) totalFreeSlots() int {
 	free := 0
 	for _, m := range s.machines {
+		if m.Down() {
+			continue
+		}
 		if f := s.cfg.Slots - m.PendingCount(); f > 0 {
 			free += f
 		}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+
+	"prunesim/internal/machine"
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// basePET returns the nominal PET lookup for a machine type — the closure
+// every machine starts with and a restore event reinstalls.
+func (s *simulator) basePET(machineType int) machine.PETLookup {
+	matrix := s.matrix
+	return func(taskType int) *pmf.PMF {
+		return matrix.PET(taskType, machineType)
+	}
+}
+
+// stretchedLookup returns a PET lookup for a machine of the given type
+// degraded by factor. The stretched PMFs are computed lazily and cached per
+// (taskType, machineType, factor), so repeated degrade events (and many
+// tasks of one type) pay for each stretch once per trial.
+func (s *simulator) stretchedLookup(machineType int, factor float64) machine.PETLookup {
+	return func(taskType int) *pmf.PMF {
+		key := stretchKey{taskType: taskType, machineType: machineType, factorBits: math.Float64bits(factor)}
+		if p, ok := s.stretched[key]; ok {
+			return p
+		}
+		p := pmf.Stretch(s.matrix.PET(taskType, machineType), factor)
+		if s.stretched == nil {
+			s.stretched = make(map[stretchKey]*pmf.PMF)
+		}
+		s.stretched[key] = p
+		return p
+	}
+}
+
+// emitPlatform reports a platform event to the observer; there is no task,
+// so TaskID and TaskType are -1.
+func (s *simulator) emitPlatform(kind TraceKind, mach int) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	s.cfg.Observer(TraceEvent{Time: s.now, Kind: kind, TaskID: -1, TaskType: -1, Machine: mach, Chance: -1})
+}
+
+// handlePlatform executes one scheduled platform event. The mapping event
+// that follows it in the main loop re-maps any orphaned work and starts
+// newly available machines.
+func (s *simulator) handlePlatform(pe PlatformEvent) {
+	s.res.PlatformEvents++
+	switch pe.Kind {
+	case PlatformFail:
+		j := pe.Machine
+		// Invalidate in-flight completion events before orphaning: the
+		// running task goes back to the arrival queue, so its scheduled
+		// completion must pop stale.
+		s.gen[j]++
+		s.emitPlatform(TraceMachineFailed, j)
+		for _, t := range s.machines[j].Fail() {
+			t.Status = task.StatusBatchQueued
+			t.Machine = -1
+			t.Start, t.Completion = 0, 0
+			s.batch = append(s.batch, t)
+			s.res.Requeues++
+			s.emit(TraceRequeued, t, j, false)
+		}
+	case PlatformJoin:
+		if pe.Machine >= 0 {
+			s.machines[pe.Machine].Rejoin()
+			s.emitPlatform(TraceMachineJoined, pe.Machine)
+			return
+		}
+		for c := 0; c < pe.Count; c++ {
+			j := len(s.machines)
+			mt := pe.MachineType
+			if mt < 0 {
+				mt = j % s.matrix.NumMachineTypes()
+			}
+			m := machine.New(j, mt, s.basePET(mt), s.matrix.BinWidth())
+			m.SetScratch(s.scratch)
+			s.machines = append(s.machines, m)
+			s.gen = append(s.gen, 0)
+			s.slow = append(s.slow, 1)
+			s.emitPlatform(TraceMachineJoined, j)
+		}
+		// The machines slice may have been reallocated by append.
+		s.ctx.Machines = s.machines
+	case PlatformDegrade:
+		j := pe.Machine
+		s.slow[j] = pe.Factor
+		s.machines[j].SetPET(s.stretchedLookup(s.machines[j].TypeIndex(), pe.Factor))
+		s.emitPlatform(TraceMachineDegraded, j)
+	case PlatformRestore:
+		j := pe.Machine
+		s.slow[j] = 1
+		s.machines[j].SetPET(s.basePET(s.machines[j].TypeIndex()))
+		s.emitPlatform(TraceMachineRestored, j)
+	}
+}

@@ -15,7 +15,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
+	"prunesim/internal/clock"
 	"prunesim/internal/core"
 	"prunesim/internal/eventq"
 	"prunesim/internal/machine"
@@ -77,6 +79,131 @@ type Config struct {
 	// Observer, when non-nil, receives every task lifecycle event. Used for
 	// trace export and debugging; it adds no cost when nil.
 	Observer func(TraceEvent)
+	// Events are scheduled platform changes (machine failures, joins,
+	// degradations, capacity scaling), sorted by time. Nil or empty means a
+	// static platform — and produces trial outcomes bitwise-identical to a
+	// build without the event subsystem: every event-handling guard in the
+	// loop is a no-op when no events are scheduled.
+	Events []PlatformEvent
+	// Clock paces the simulation (see internal/clock). Nil means pure
+	// simulated time: no pacing, full CPU speed.
+	Clock clock.Clock
+}
+
+// PlatformEventKind classifies scheduled platform events.
+type PlatformEventKind uint8
+
+const (
+	// PlatformFail takes a machine down. Its running task and pending queue
+	// are orphaned back to the arrival queue for re-mapping.
+	PlatformFail PlatformEventKind = iota
+	// PlatformJoin brings a machine up: either a previously failed machine
+	// (Machine >= 0) or Count new machines appended to the cluster
+	// (Machine < 0).
+	PlatformJoin
+	// PlatformDegrade multiplies a machine's execution times by Factor (> 1
+	// slows it down); the scheduler's PET view stretches to match.
+	PlatformDegrade
+	// PlatformRestore returns a degraded machine to nominal speed.
+	PlatformRestore
+)
+
+// String names the platform event kind.
+func (k PlatformEventKind) String() string {
+	switch k {
+	case PlatformFail:
+		return "fail"
+	case PlatformJoin:
+		return "join"
+	case PlatformDegrade:
+		return "degrade"
+	case PlatformRestore:
+		return "restore"
+	default:
+		return "unknown"
+	}
+}
+
+// PlatformEvent is one scheduled change to the machine set, in simulation
+// time units on the same clock as task arrivals.
+type PlatformEvent struct {
+	// Time is when the event fires. Events at the same instant as a task
+	// arrival are processed before the arrival (the schedule is pushed onto
+	// the event queue first, and ties pop in insertion order).
+	Time float64
+	// Kind selects the change.
+	Kind PlatformEventKind
+	// Machine is the target machine index; -1 on a PlatformJoin means "add
+	// Count new machines" instead of rejoining an existing one.
+	Machine int
+	// Count is how many machines a capacity-scaling PlatformJoin adds.
+	Count int
+	// MachineType is the PET-matrix column for added machines; -1 cycles
+	// through the matrix's machine types round-robin by machine index.
+	MachineType int
+	// Factor is the execution-time multiplier of a PlatformDegrade,
+	// absolute relative to the machine's nominal speed (not cumulative).
+	Factor float64
+}
+
+// ValidateEvents checks a platform-event schedule against a cluster of the
+// given initial size and a PET matrix with machineTypes columns: times must
+// be finite, non-negative and non-decreasing, targets must exist at the
+// time they are referenced, a machine may only fail while up and only
+// rejoin while down. Shared by the simulator and the scenario compiler so
+// both reject the same schedules.
+func ValidateEvents(machines, machineTypes int, events []PlatformEvent) error {
+	n := machines
+	down := make(map[int]bool, 4)
+	prev := math.Inf(-1)
+	for i, e := range events {
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) || e.Time < 0 {
+			return fmt.Errorf("sim: event %d: bad time %v", i, e.Time)
+		}
+		if e.Time < prev {
+			return fmt.Errorf("sim: event %d at %v fires before event %d at %v", i, e.Time, i-1, prev)
+		}
+		prev = e.Time
+		if e.Kind == PlatformJoin && e.Machine < 0 {
+			if e.Count <= 0 {
+				return fmt.Errorf("sim: event %d: capacity join needs Count > 0, got %d", i, e.Count)
+			}
+			if e.MachineType < -1 || e.MachineType >= machineTypes {
+				return fmt.Errorf("sim: event %d: machine type %d outside PET matrix (%d types)", i, e.MachineType, machineTypes)
+			}
+			n += e.Count
+			continue
+		}
+		if e.Machine < 0 || e.Machine >= n {
+			return fmt.Errorf("sim: event %d: machine %d outside cluster of %d", i, e.Machine, n)
+		}
+		switch e.Kind {
+		case PlatformFail:
+			if down[e.Machine] {
+				return fmt.Errorf("sim: event %d: machine %d fails while already down", i, e.Machine)
+			}
+			down[e.Machine] = true
+		case PlatformJoin:
+			if !down[e.Machine] {
+				return fmt.Errorf("sim: event %d: machine %d joins while already up", i, e.Machine)
+			}
+			down[e.Machine] = false
+		case PlatformDegrade:
+			if down[e.Machine] {
+				return fmt.Errorf("sim: event %d: machine %d degraded while down", i, e.Machine)
+			}
+			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) || math.IsNaN(e.Factor) {
+				return fmt.Errorf("sim: event %d: degrade factor must be positive and finite, got %v", i, e.Factor)
+			}
+		case PlatformRestore:
+			if down[e.Machine] {
+				return fmt.Errorf("sim: event %d: machine %d restored while down", i, e.Machine)
+			}
+		default:
+			return fmt.Errorf("sim: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
 }
 
 // TraceKind classifies task lifecycle events for observers.
@@ -98,6 +225,15 @@ const (
 	TraceDroppedReactive
 	// TraceDroppedProactive fires when the pruner drops a low-chance task.
 	TraceDroppedProactive
+	// TraceRequeued fires when a machine failure orphans a task back to the
+	// arrival queue.
+	TraceRequeued
+	// TraceMachineFailed, TraceMachineJoined, TraceMachineDegraded and
+	// TraceMachineRestored report platform events; TaskID/TaskType are -1.
+	TraceMachineFailed
+	TraceMachineJoined
+	TraceMachineDegraded
+	TraceMachineRestored
 )
 
 // String names the trace kind.
@@ -117,6 +253,16 @@ func (k TraceKind) String() string {
 		return "dropped-reactive"
 	case TraceDroppedProactive:
 		return "dropped-proactive"
+	case TraceRequeued:
+		return "requeued"
+	case TraceMachineFailed:
+		return "machine-failed"
+	case TraceMachineJoined:
+		return "machine-joined"
+	case TraceMachineDegraded:
+		return "machine-degraded"
+	case TraceMachineRestored:
+		return "machine-restored"
 	default:
 		return "unknown"
 	}
@@ -181,6 +327,11 @@ type Result struct {
 	WastedTime float64
 	// Makespan is the completion time of the last event.
 	Makespan float64
+	// PlatformEvents is the number of scheduled platform events executed;
+	// Requeues counts tasks orphaned back to the arrival queue by machine
+	// failures. Both are zero on a static platform.
+	PlatformEvents int
+	Requeues       int
 }
 
 // conservationError verifies that every counted task is in exactly one
@@ -228,7 +379,24 @@ type simulator struct {
 	// availBuf is the reusable unmapped-candidates buffer for batchMap.
 	availBuf []*task.Task
 
+	// Platform-event state. gen[j] is machine j's generation: bumped on
+	// every failure so completion events scheduled before the failure pop
+	// stale and are discarded. slow[j] is machine j's current execution-time
+	// multiplier (1 = nominal). stretched caches degraded PET PMFs per
+	// (taskType, machineType, factor). All of it is inert without events:
+	// gens stay zero, slow stays 1, the cache stays empty.
+	gen       []uint64
+	slow      []float64
+	stretched map[stretchKey]*pmf.PMF
+
 	res Result
+}
+
+// stretchKey identifies a degraded PET distribution.
+type stretchKey struct {
+	taskType    int
+	machineType int
+	factorBits  uint64
 }
 
 func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulator, error) {
@@ -262,6 +430,9 @@ func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulato
 	if cfg.ExcludeBoundary < 0 || 2*cfg.ExcludeBoundary >= len(tasks) {
 		return nil, fmt.Errorf("sim: ExcludeBoundary %d out of range for %d tasks", cfg.ExcludeBoundary, len(tasks))
 	}
+	if err := ValidateEvents(len(cfg.MachineTypes), matrix.NumMachineTypes(), cfg.Events); err != nil {
+		return nil, err
+	}
 	s := &simulator{matrix: matrix, cfg: cfg, tasks: tasks, pruner: core.New(cfg.Prune)}
 	switch h := cfg.Heuristic.(type) {
 	case sched.Immediate:
@@ -279,10 +450,12 @@ func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulato
 	}
 	s.machines = make([]*machine.Machine, len(cfg.MachineTypes))
 	for j, mt := range cfg.MachineTypes {
-		mt := mt
-		s.machines[j] = machine.New(j, mt, func(taskType int) *pmf.PMF {
-			return matrix.PET(taskType, mt)
-		}, matrix.BinWidth())
+		s.machines[j] = machine.New(j, mt, s.basePET(mt), matrix.BinWidth())
+	}
+	s.gen = make([]uint64, len(s.machines))
+	s.slow = make([]float64, len(s.machines))
+	for j := range s.slow {
+		s.slow[j] = 1
 	}
 	s.skipMark = make([]int, len(tasks))
 	slots := cfg.Slots

@@ -1,0 +1,180 @@
+// Rate-window overlays: scenario-level surge and throttle events that
+// compose with any compiled ArrivalModel. A window [From, Until) with
+// Factor > 1 superposes an independent homogeneous Poisson stream of extra
+// arrivals sized so the aggregate rate inside the window rises by
+// (Factor-1) times the configuration's mean rate; Factor < 1 thins the base
+// model's arrivals inside the window, keeping each with probability Factor.
+// Both draw from a salted RNG stream separate from the per-type arrival
+// stream, so an overlay never rewinds or replays the base model's
+// randomness, and an empty window list returns the base model untouched.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"prunesim/internal/randx"
+)
+
+// RateWindow scales the arrival rate inside [From, Until).
+type RateWindow struct {
+	// From and Until bound the window in workload time units, with
+	// 0 <= From < Until <= TimeSpan; windows must not overlap.
+	From, Until float64
+	// Factor is the rate multiplier inside the window: > 1 surges (extra
+	// superposed Poisson arrivals), < 1 throttles (thinning), 1 is a no-op.
+	Factor float64
+}
+
+// surgeSalt derives the overlay's RNG stream from the workload seed, so
+// surge extras and thinning coin flips are independent of (and do not
+// perturb) the per-type base arrival streams.
+const surgeSalt = 0x73757267 // "surg"
+
+// WithRateWindows wraps a compiled arrival model with rate-window overlays.
+// An empty window list returns model unchanged — the overlay path is
+// provably absent, not merely inert. The model must have been built from
+// cfg and numTypes via NewArrivalModel.
+func WithRateWindows(model ArrivalModel, windows []RateWindow, cfg Config, numTypes int) (ArrivalModel, error) {
+	if len(windows) == 0 {
+		return model, nil
+	}
+	if numTypes <= 0 {
+		return nil, errf("rate windows need a positive task-type count, got %d", numTypes)
+	}
+	ws := append([]RateWindow(nil), windows...)
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+	surging := false
+	for i, w := range ws {
+		if math.IsNaN(w.From) || math.IsNaN(w.Until) || math.IsInf(w.From, 0) || math.IsInf(w.Until, 0) {
+			return nil, errf("rate window %d: bounds must be finite, got [%v, %v)", i, w.From, w.Until)
+		}
+		if w.From < 0 || w.From >= w.Until || w.Until > cfg.TimeSpan {
+			return nil, errf("rate window %d: want 0 <= from < until <= span %v, got [%v, %v)",
+				i, cfg.TimeSpan, w.From, w.Until)
+		}
+		if !(w.Factor > 0) || math.IsInf(w.Factor, 0) {
+			return nil, errf("rate window %d: factor must be positive and finite, got %v", i, w.Factor)
+		}
+		if i > 0 && w.From < ws[i-1].Until {
+			return nil, errf("rate window %d: [%v, %v) overlaps [%v, %v)",
+				i, w.From, w.Until, ws[i-1].From, ws[i-1].Until)
+		}
+		surging = surging || w.Factor > 1
+	}
+	if surging && cfg.NumTasks <= 0 {
+		return nil, errf("surge windows (factor > 1) need NumTasks > 0 to size the extra arrivals, got %d",
+			cfg.NumTasks)
+	}
+	return &overlayModel{
+		base:     model,
+		windows:  ws,
+		seed:     cfg.Seed,
+		span:     cfg.TimeSpan,
+		aggBase:  float64(cfg.NumTasks) / cfg.TimeSpan,
+		numTypes: numTypes,
+	}, nil
+}
+
+// overlayModel decorates a base arrival model with rate windows. Windows are
+// sorted by From and non-overlapping (enforced by WithRateWindows).
+type overlayModel struct {
+	base     ArrivalModel
+	windows  []RateWindow
+	seed     uint64
+	span     float64
+	aggBase  float64 // cfg mean aggregate rate NumTasks/TimeSpan
+	numTypes int
+}
+
+// Name reports the base model's name: an overlay changes the rate the model
+// realizes, not what the model is.
+func (m *overlayModel) Name() string { return m.base.Name() }
+
+// factorAt returns the window multiplier at time t (1 outside all windows).
+func (m *overlayModel) factorAt(t float64) float64 {
+	for _, w := range m.windows {
+		if t < w.From {
+			return 1 // sorted: no later window can contain t
+		}
+		if t < w.Until {
+			return w.Factor
+		}
+	}
+	return 1
+}
+
+// Rate composes the base curve with the active window: surges add the extra
+// superposed-Poisson rate, throttles scale by the keep probability.
+func (m *overlayModel) Rate(t float64) float64 {
+	r := m.base.Rate(t)
+	f := m.factorAt(t)
+	if f > 1 {
+		return r + (f-1)*m.aggBase
+	}
+	return r * f
+}
+
+// Stream wraps the base stream for one (type, trial). Surge extras are
+// pre-generated from the salted per-(trial, type) stream — a fixed-order
+// prefix of its draws — and the remaining draws thin throttled base
+// arrivals in arrival order, so the composed stream is a pure function of
+// (seed, trial, type).
+func (m *overlayModel) Stream(taskType, trial int, rng *randx.RNG) ArrivalStream {
+	surge := randx.Split(m.seed^surgeSalt, uint64(trial)*1000003+uint64(taskType))
+	var extras []float64
+	for _, w := range m.windows {
+		if w.Factor <= 1 {
+			continue
+		}
+		mean := float64(m.numTypes) / ((w.Factor - 1) * m.aggBase)
+		for t := w.From + surge.Exponential(mean); t < w.Until; t += surge.Exponential(mean) {
+			extras = append(extras, t)
+		}
+	}
+	return &overlayStream{
+		base:   m.base.Stream(taskType, trial, rng),
+		model:  m,
+		surge:  surge,
+		extras: extras,
+	}
+}
+
+// overlayStream merges the (thinned) base stream with pre-generated surge
+// extras. Extras are sorted by construction: windows are disjoint and
+// ascending, and Poisson increments within a window only move forward.
+type overlayStream struct {
+	base       ArrivalStream
+	model      *overlayModel
+	surge      *randx.RNG
+	extras     []float64
+	nextExtra  int
+	pending    float64 // one-element base lookahead
+	hasPending bool
+	baseDone   bool
+}
+
+func (s *overlayStream) Next() (float64, bool) {
+	// Refill the base lookahead, dropping arrivals a throttle window thins.
+	for !s.hasPending && !s.baseDone {
+		t, ok := s.base.Next()
+		if !ok {
+			s.baseDone = true
+			break
+		}
+		if f := s.model.factorAt(t); f < 1 && s.surge.Float64() >= f {
+			continue
+		}
+		s.pending, s.hasPending = t, true
+	}
+	if s.nextExtra < len(s.extras) && (!s.hasPending || s.extras[s.nextExtra] < s.pending) {
+		t := s.extras[s.nextExtra]
+		s.nextExtra++
+		return t, true
+	}
+	if s.hasPending {
+		s.hasPending = false
+		return s.pending, true
+	}
+	return 0, false
+}

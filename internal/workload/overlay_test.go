@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prunesim/internal/randx"
+)
+
+// overlayArrivals collects every arrival of every type for one trial of a
+// (possibly overlaid) model under cfg.
+func overlayArrivals(m ArrivalModel, cfg Config, numTypes, trial int) []float64 {
+	var all []float64
+	for tt := 0; tt < numTypes; tt++ {
+		rng := randx.Split(cfg.Seed, uint64(trial)*1000003+uint64(tt))
+		st := m.Stream(tt, trial, rng)
+		for {
+			t, ok := st.Next()
+			if !ok {
+				break
+			}
+			all = append(all, t)
+		}
+	}
+	return all
+}
+
+func countIn(ts []float64, lo, hi float64) int {
+	n := 0
+	for _, t := range ts {
+		if t >= lo && t < hi {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWithRateWindowsEmptyReturnsModelUnchanged(t *testing.T) {
+	cfg := cfgWith(5000, ModelPoisson)
+	base, err := NewArrivalModel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range [][]RateWindow{nil, {}} {
+		got, err := WithRateWindows(base, ws, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("windows %v: want the base model back untouched, got %T", ws, got)
+		}
+	}
+}
+
+func TestWithRateWindowsValidation(t *testing.T) {
+	cfg := cfgWith(5000, ModelPoisson) // span 3000
+	cases := []struct {
+		name    string
+		windows []RateWindow
+		cfg     Config
+		wantSub string
+	}{
+		{"negative from", []RateWindow{{From: -1, Until: 10, Factor: 2}}, cfg, "0 <= from"},
+		{"empty window", []RateWindow{{From: 10, Until: 10, Factor: 2}}, cfg, "0 <= from"},
+		{"inverted window", []RateWindow{{From: 20, Until: 10, Factor: 2}}, cfg, "0 <= from"},
+		{"beyond span", []RateWindow{{From: 0, Until: 4000, Factor: 2}}, cfg, "span"},
+		{"nan bound", []RateWindow{{From: math.NaN(), Until: 10, Factor: 2}}, cfg, "finite"},
+		{"inf bound", []RateWindow{{From: 0, Until: math.Inf(1), Factor: 2}}, cfg, "finite"},
+		{"zero factor", []RateWindow{{From: 0, Until: 10, Factor: 0}}, cfg, "factor"},
+		{"negative factor", []RateWindow{{From: 0, Until: 10, Factor: -2}}, cfg, "factor"},
+		{"nan factor", []RateWindow{{From: 0, Until: 10, Factor: math.NaN()}}, cfg, "factor"},
+		{"inf factor", []RateWindow{{From: 0, Until: 10, Factor: math.Inf(1)}}, cfg, "factor"},
+		{"overlap", []RateWindow{{From: 0, Until: 100, Factor: 2}, {From: 50, Until: 200, Factor: 0.5}}, cfg, "overlaps"},
+		{"surge without task count", []RateWindow{{From: 0, Until: 100, Factor: 2}}, func() Config {
+			c := cfg
+			c.NumTasks = 0
+			c.Model = ModelTrace
+			c.Trace = TraceConfig{Arrivals: []float64{1, 2, 3}}
+			return c
+		}(), "NumTasks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := WithRateWindows(nil, tc.windows, tc.cfg, 4)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestWithRateWindowsOutOfOrderAccepted: windows may arrive unsorted (the
+// scenario layer emits them in event-declaration order); the overlay sorts
+// before checking overlap.
+func TestWithRateWindowsOutOfOrderAccepted(t *testing.T) {
+	cfg := cfgWith(5000, ModelPoisson)
+	base, err := NewArrivalModel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := WithRateWindows(base, []RateWindow{
+		{From: 2000, Until: 2500, Factor: 0.5},
+		{From: 100, Until: 600, Factor: 2},
+	}, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(*overlayModel).windows[0].From != 100 {
+		t.Fatalf("windows not sorted by From: %+v", m.(*overlayModel).windows)
+	}
+}
+
+func TestSurgeAddsArrivalsAndThrottleRemovesThem(t *testing.T) {
+	const numTypes = 4
+	cfg := cfgWith(9000, ModelPoisson)
+	base, err := NewArrivalModel(cfg, numTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surgeW := RateWindow{From: 300, Until: 900, Factor: 2}
+	throttleW := RateWindow{From: 1500, Until: 2100, Factor: 0.3}
+	over, err := WithRateWindows(base, []RateWindow{surgeW, throttleW}, cfg, numTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseSurge, overSurge, baseThrottle, overThrottle float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		bs := overlayArrivals(base, cfg, numTypes, trial)
+		os := overlayArrivals(over, cfg, numTypes, trial)
+		baseSurge += float64(countIn(bs, surgeW.From, surgeW.Until))
+		overSurge += float64(countIn(os, surgeW.From, surgeW.Until))
+		baseThrottle += float64(countIn(bs, throttleW.From, throttleW.Until))
+		overThrottle += float64(countIn(os, throttleW.From, throttleW.Until))
+	}
+	// Surge: expect (factor-1) * aggBase * width = 1 * 3 * 600 = 1800 extras
+	// per trial on top of the base ~1800. Poisson noise over 5 trials is
+	// small relative to a 20% tolerance band.
+	extra := (overSurge - baseSurge) / trials
+	wantExtra := (surgeW.Factor - 1) * float64(cfg.NumTasks) / cfg.TimeSpan * (surgeW.Until - surgeW.From)
+	if extra < 0.8*wantExtra || extra > 1.2*wantExtra {
+		t.Errorf("surge added %.0f arrivals per trial, want ~%.0f", extra, wantExtra)
+	}
+	// Throttle: the overlaid window keeps each base arrival with p = 0.3.
+	ratio := overThrottle / baseThrottle
+	if ratio < 0.2 || ratio > 0.4 {
+		t.Errorf("throttle kept %.2f of base arrivals, want ~0.30", ratio)
+	}
+	// Outside every window the processes share the same base randomness for
+	// a Poisson model (its stream ignores no draws), so counts match.
+	for trial := 0; trial < 1; trial++ {
+		bs := overlayArrivals(base, cfg, numTypes, trial)
+		os := overlayArrivals(over, cfg, numTypes, trial)
+		if b, o := countIn(bs, 2400, 3000), countIn(os, 2400, 3000); b != o {
+			t.Errorf("outside windows: base %d vs overlay %d arrivals", b, o)
+		}
+	}
+}
+
+func TestOverlayDeterministicAndOrdered(t *testing.T) {
+	const numTypes = 3
+	for _, modelName := range []string{ModelPoisson, ModelSpiky, ModelMMPP} {
+		t.Run(modelName, func(t *testing.T) {
+			cfg := cfgWith(6000, modelName)
+			base, err := NewArrivalModel(cfg, numTypes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			over, err := WithRateWindows(base, []RateWindow{
+				{From: 200, Until: 700, Factor: 1.8},
+				{From: 1200, Until: 1700, Factor: 0.4},
+			}, cfg, numTypes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := overlayArrivals(over, cfg, numTypes, 3)
+			b := overlayArrivals(over, cfg, numTypes, 3)
+			if len(a) != len(b) {
+				t.Fatalf("reruns disagree on arrival count: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("arrival %d differs across reruns: %v vs %v", i, a[i], b[i])
+				}
+			}
+			// Per-type streams must stay non-decreasing after the merge.
+			for tt := 0; tt < numTypes; tt++ {
+				rng := randx.Split(cfg.Seed, uint64(3)*1000003+uint64(tt))
+				st := over.Stream(tt, 3, rng)
+				prev := math.Inf(-1)
+				for {
+					at, ok := st.Next()
+					if !ok {
+						break
+					}
+					if at < prev {
+						t.Fatalf("type %d: arrival %v after %v — stream went backwards", tt, at, prev)
+					}
+					prev = at
+				}
+			}
+		})
+	}
+}
+
+func TestOverlayRateComposition(t *testing.T) {
+	cfg := cfgWith(6000, ModelPoisson) // flat base rate 2/unit over span 3000
+	base, err := NewArrivalModel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := WithRateWindows(base, []RateWindow{
+		{From: 100, Until: 200, Factor: 3},
+		{From: 500, Until: 800, Factor: 0.5},
+	}, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := float64(cfg.NumTasks) / cfg.TimeSpan
+	cases := []struct{ t, want float64 }{
+		{50, agg},          // before any window
+		{150, agg + 2*agg}, // surge: base + (f-1)*agg
+		{200, agg},         // half-open: until is outside
+		{650, agg * 0.5},   // throttle scales
+		{2900, agg},        // after all windows
+		{-5, 0},            // outside the span entirely
+	}
+	for _, c := range cases {
+		if got := over.Rate(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if over.Name() != ModelPoisson {
+		t.Errorf("overlay name = %q, want the base model's %q", over.Name(), ModelPoisson)
+	}
+}
+
+// TestOverlayGenerateWith: the overlay plugs into the standard generation
+// path — task IDs are reassigned in arrival order and deadlines follow
+// Eq. 4 against the same matrix.
+func TestOverlayGenerateWith(t *testing.T) {
+	cfg := cfgWith(4000, ModelPoisson)
+	nt := testMatrix.NumTaskTypes()
+	base, err := NewArrivalModel(cfg, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := WithRateWindows(base, []RateWindow{{From: 0, Until: 1000, Factor: 2}}, cfg, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := GenerateWith(testMatrix, over, cfg)
+	if len(tasks) == 0 {
+		t.Fatal("no tasks generated")
+	}
+	for i, tk := range tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+		if i > 0 && tk.Arrival < tasks[i-1].Arrival {
+			t.Fatalf("task %d arrives before its predecessor", i)
+		}
+		if tk.Deadline <= tk.Arrival {
+			t.Fatalf("task %d deadline %v not after arrival %v", i, tk.Deadline, tk.Arrival)
+		}
+	}
+	baseTasks := GenerateWith(testMatrix, base, cfg)
+	if len(tasks) <= len(baseTasks) {
+		t.Fatalf("surge generated %d tasks, base %d — expected more", len(tasks), len(baseTasks))
+	}
+}

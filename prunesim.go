@@ -32,7 +32,10 @@
 package prunesim
 
 import (
+	"fmt"
+
 	"prunesim/internal/calibration"
+	"prunesim/internal/clock"
 	"prunesim/internal/core"
 	"prunesim/internal/energy"
 	"prunesim/internal/experiments"
@@ -333,6 +336,21 @@ func RunScenario(s Scenario) (*ScenarioOutcome, error) {
 // serialized; see scenario.Engine.RunWithProgress for the contract.
 func RunScenarioWithProgress(s Scenario, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
 	return scenario.NewEngine(0).RunWithProgress(s, onTrial)
+}
+
+// RunScenarioPaced executes one scenario against a real wall clock running
+// speedup× faster than simulated time (speedup must be positive; 1 is real
+// time). Trials run sequentially — pacing several trials at once would
+// interleave their sleeps into nonsense. Results are identical to
+// RunScenario; only the wall-clock pacing differs.
+func RunScenarioPaced(s Scenario, speedup float64, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
+	if !(speedup > 0) {
+		return nil, fmt.Errorf("pace: speedup must be positive, got %v", speedup)
+	}
+	eng := scenario.NewEngine(1)
+	eng.NewClock = func() clock.Clock { return clock.NewReal(speedup) }
+	s.Run.Parallelism = 1
+	return eng.RunWithProgress(s, onTrial)
 }
 
 // Calibration (see internal/calibration).

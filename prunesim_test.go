@@ -170,7 +170,7 @@ func TestEnergyFacade(t *testing.T) {
 
 func TestFigureRegistryViaFacade(t *testing.T) {
 	names := prunesim.FigureNames()
-	if len(names) != 13 { // 12 paper figures/ablations + the arrivals sensitivity driver
+	if len(names) != 14 { // 12 paper figures/ablations + the arrivals and churn sensitivity drivers
 		t.Fatalf("figure names: %v", names)
 	}
 	fr, err := prunesim.RunFigure("6", prunesim.FigureOptions{Trials: 1, Scale: 0.05, Seed: 1, Parallelism: 1})
