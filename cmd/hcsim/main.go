@@ -21,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"prunesim"
 	"prunesim/internal/cli"
+	"prunesim/internal/timeline"
 )
 
 func main() {
@@ -175,17 +177,41 @@ func runScenario(path string, o overrides) {
 	if flagSet("seed") {
 		sc.Run.Seed = o.seed
 	}
+	// The live view: every finished trial folds into a streaming timeline
+	// (the same aggregator prunesimd serves at /v1/jobs/{id}/timeline) and
+	// refreshes a progress line on stderr — in-place on a TTY, milestone
+	// lines otherwise.
+	tl := timeline.New(sc.Run.Trials)
+	progress := newProgressPrinter(os.Stderr, sc.Run.Trials)
+	start := time.Now()
+	onTrial := func(p prunesim.ScenarioTrialProgress) {
+		tl.Observe(timeline.Observation{
+			Trial:      p.Trial,
+			At:         time.Since(start).Seconds(),
+			Duration:   p.DurationSeconds,
+			Robustness: p.Robustness,
+			Counts: timeline.Counts{
+				Counted:          p.Counted,
+				OnTime:           p.OnTime,
+				Late:             p.Late,
+				DroppedReactive:  p.DroppedReactive,
+				DroppedProactive: p.DroppedProactive,
+				Unfinished:       p.Unfinished,
+				Deferrals:        p.Deferrals,
+			},
+		})
+		progress.update(p, tl)
+	}
 	var outcome *prunesim.ScenarioOutcome
 	if o.pace != 0 {
 		// Paced mode plays the scenario against the wall clock (o.pace
 		// simulated time units per second of ×1 speedup) — live demos of
 		// machine churn rather than batch throughput.
-		outcome, err = prunesim.RunScenarioPaced(sc, o.pace, func(p prunesim.ScenarioTrialProgress) {
-			fmt.Fprintf(os.Stderr, "trial %d/%d robustness %.2f%%\n", p.Done, p.Total, p.Robustness)
-		})
+		outcome, err = prunesim.RunScenarioPaced(sc, o.pace, onTrial)
 	} else {
-		outcome, err = prunesim.RunScenario(sc)
+		outcome, err = prunesim.RunScenarioWithProgress(sc, onTrial)
 	}
+	progress.finish()
 	if err != nil {
 		fatal(err)
 	}
@@ -217,18 +243,105 @@ func runScenario(path string, o overrides) {
 	n := float64(len(outcome.Results))
 	fmt.Printf("mean per trial:      on-time %.0f, late %.0f, dropped reactive %.0f, dropped proactive %.0f, unfinished %.0f, deferrals %.0f\n",
 		onTime/n, late/n, dropR/n, dropP/n, unfinished/n, deferrals/n)
+	printTimeline(tl.Snapshot())
 	if o.energy {
 		printEnergy(outcome.Results[0], sc.Platform.Machines)
 	}
 	if o.out != "" {
 		// "-" streams to stdout; parent directories are created on demand.
-		if err := cli.WriteJSON(o.out, outcome); err != nil {
+		// The report wraps the outcome with the run's final timeline
+		// snapshot (the outcome's own fields are unchanged).
+		report := struct {
+			*prunesim.ScenarioOutcome
+			Timeline *timeline.Snapshot `json:"timeline"`
+		}{outcome, tl.Snapshot()}
+		if err := cli.WriteJSON(o.out, report); err != nil {
 			fatal(err)
 		}
 		if o.out != "-" {
 			fmt.Printf("wrote %s\n", o.out)
 		}
 	}
+}
+
+// progressPrinter renders live per-trial progress on w: a single
+// carriage-return-rewritten line when w is a terminal, sparse milestone
+// lines (~10 per run) otherwise — so piped and CI output stays readable.
+type progressPrinter struct {
+	w     *os.File
+	tty   bool
+	total int
+	every int
+	wrote bool
+}
+
+func newProgressPrinter(w *os.File, total int) *progressPrinter {
+	every := total / 10
+	if every < 1 {
+		every = 1
+	}
+	fi, err := w.Stat()
+	tty := err == nil && fi.Mode()&os.ModeCharDevice != 0
+	return &progressPrinter{w: w, tty: tty, total: total, every: every}
+}
+
+// update reports one finished trial against the timeline so far.
+func (pp *progressPrinter) update(p prunesim.ScenarioTrialProgress, tl *timeline.Timeline) {
+	if !pp.tty && p.Done%pp.every != 0 && p.Done != pp.total {
+		return
+	}
+	s := tl.Snapshot()
+	line := fmt.Sprintf("trial %d/%d · robustness %.2f%% (p50 %.2f) · on-time %.1f%% late %.1f%% dropped %.1f%% · %.1f trials/s",
+		p.Done, p.Total, s.Robustness.Mean, s.Robustness.P50,
+		s.Rates.OnTimePercent, s.Rates.LatePercent,
+		s.Rates.DroppedReactivePercent+s.Rates.DroppedProactivePercent,
+		s.TrialsPerSec)
+	if pp.tty {
+		fmt.Fprintf(pp.w, "\r\x1b[K%s", line)
+		pp.wrote = true
+	} else {
+		fmt.Fprintln(pp.w, line)
+	}
+}
+
+// finish terminates the in-place line so the report starts on a fresh row.
+func (pp *progressPrinter) finish() {
+	if pp.tty && pp.wrote {
+		fmt.Fprintln(pp.w)
+	}
+}
+
+// printTimeline renders the final timeline section of the console report.
+func printTimeline(s *timeline.Snapshot) {
+	if s.TrialsDone == 0 {
+		return
+	}
+	fmt.Printf("timeline:            %d trials in %.1fs (%.1f trials/s), %d bins × %gs\n",
+		s.TrialsDone, s.ElapsedSeconds, s.TrialsPerSec, len(s.Bins), s.BinWidthSeconds)
+	fmt.Printf("  robustness:        p50 %.2f  p90 %.2f  p99 %.2f  (min %.2f, max %.2f)\n",
+		s.Robustness.P50, s.Robustness.P90, s.Robustness.P99, s.Robustness.Min, s.Robustness.Max)
+	if d := s.TrialDuration; d != nil {
+		fmt.Printf("  trial duration:    p50 %s  p90 %s  p99 %s\n",
+			fmtSeconds(d.P50), fmtSeconds(d.P90), fmtSeconds(d.P99))
+	}
+	if len(s.Bins) > 0 {
+		fmt.Printf("  %8s %7s %9s %6s %6s %6s %6s %7s\n",
+			"t[s]", "trials", "on-time%", "late", "dropR", "dropP", "unfin", "defer")
+		for _, b := range s.Bins {
+			if b.Trials == 0 {
+				continue
+			}
+			fmt.Printf("  %8.1f %7d %9.1f %6d %6d %6d %6d %7d\n",
+				b.StartSeconds, b.Trials, b.OnTimePercent,
+				b.Counts.Late, b.Counts.DroppedReactive, b.Counts.DroppedProactive,
+				b.Counts.Unfinished, b.Counts.Deferrals)
+		}
+	}
+}
+
+// fmtSeconds renders a duration in seconds with a sensible unit.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Millisecond).String()
 }
 
 // flagSet reports whether the named flag was given explicitly.

@@ -13,11 +13,13 @@
 //	POST /v1/jobs                 submit {"scenario": {...}} or {"name": "..."}
 //	GET  /v1/jobs                 list jobs
 //	GET  /v1/jobs/{id}            status + outcome
-//	GET  /v1/jobs/{id}/events     SSE per-trial progress
+//	GET  /v1/jobs/{id}/events     SSE per-trial progress + periodic timeline
+//	GET  /v1/jobs/{id}/timeline   live in-flight aggregate (binned rates,
+//	                              robustness-so-far, duration quantiles)
 //	GET  /v1/jobs/{id}/trials.csv per-trial CSV artifact
 //	GET  /v1/scenarios            the scenario library
 //	GET  /healthz                 liveness
-//	GET  /metrics                 Prometheus text metrics
+//	GET  /metrics                 Prometheus text metrics + latency histograms
 package main
 
 import (

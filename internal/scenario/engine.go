@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"prunesim/internal/clock"
 	"prunesim/internal/pet"
@@ -135,7 +136,10 @@ func machineTypes(s Scenario, m *pet.Matrix) []int {
 
 // TrialProgress reports one finished trial during RunWithProgress. Done
 // counts trials finished so far (including this one), so Done == Total
-// marks the last report of a run.
+// marks the last report of a run. Beyond the trial's robustness it carries
+// the full outcome breakdown and the trial's wall duration, so live
+// consumers (the serving layer's per-job timeline, hcsim's progress line)
+// can aggregate rates without waiting for the final Outcome.
 type TrialProgress struct {
 	// Trial is the index of the trial that just finished.
 	Trial int `json:"trial"`
@@ -144,6 +148,19 @@ type TrialProgress struct {
 	Total int `json:"total"`
 	// Robustness is the finished trial's robustness (% on time).
 	Robustness float64 `json:"robustness"`
+	// DurationSeconds is the trial's wall-clock run time.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Counted is the number of tasks in the trial's measurement window;
+	// OnTime, Late, DroppedReactive, DroppedProactive and Unfinished
+	// partition it (sim.Result's terminal buckets). Deferrals counts
+	// deferring decisions.
+	Counted          int `json:"counted"`
+	OnTime           int `json:"on_time"`
+	Late             int `json:"late"`
+	DroppedReactive  int `json:"dropped_reactive"`
+	DroppedProactive int `json:"dropped_proactive"`
+	Unfinished       int `json:"unfinished"`
+	Deferrals        int `json:"deferrals"`
 }
 
 // Run normalizes and executes one scenario, running its trials on a bounded
@@ -181,15 +198,26 @@ func (e *Engine) RunWithProgress(s Scenario, onTrial func(TrialProgress)) (*Outc
 		go func(trial int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			results[trial], errs[trial] = e.runTrial(s, c, trial)
 			if onTrial != nil && errs[trial] == nil {
+				elapsed := time.Since(start).Seconds()
 				progressMu.Lock()
 				done++
+				r := results[trial]
 				onTrial(TrialProgress{
-					Trial:      trial,
-					Done:       done,
-					Total:      s.Run.Trials,
-					Robustness: results[trial].Robustness,
+					Trial:            trial,
+					Done:             done,
+					Total:            s.Run.Trials,
+					Robustness:       r.Robustness,
+					DurationSeconds:  elapsed,
+					Counted:          r.Counted,
+					OnTime:           r.OnTime,
+					Late:             r.Late,
+					DroppedReactive:  r.DroppedReactive,
+					DroppedProactive: r.DroppedProactive,
+					Unfinished:       r.Unfinished,
+					Deferrals:        r.Deferrals,
 				})
 				progressMu.Unlock()
 			}

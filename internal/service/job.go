@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"prunesim/internal/scenario"
+	"prunesim/internal/sim"
 	"prunesim/internal/stats"
+	"prunesim/internal/timeline"
 )
 
 // State is a job's position in its lifecycle. Transitions are strictly
@@ -29,13 +31,18 @@ const (
 // job ever emitted is retained, so late subscribers replay the full
 // history before going live.
 type Event struct {
-	// Type is "queued", "running", "platform", "progress", "done" or
-	// "failed".
+	// Type is "queued", "running", "platform", "progress", "timeline",
+	// "done" or "failed".
 	Type string `json:"type"`
 	// JobID names the emitting job.
 	JobID string `json:"job_id"`
 	// Trial carries per-trial progress (Type "progress" only).
 	Trial *scenario.TrialProgress `json:"trial,omitempty"`
+	// Timeline carries a snapshot of the job's streaming aggregate (Type
+	// "timeline" only): binned outcome rates, robustness-so-far and trial
+	// duration quantiles. Emitted periodically between progress events and
+	// once more after the last trial.
+	Timeline *timeline.Snapshot `json:"timeline,omitempty"`
 	// Platform carries the scenario's scheduled platform-event block (Type
 	// "platform" only), published once when a churn scenario starts running
 	// so stream consumers can mark failure/join/degrade times on live
@@ -75,6 +82,11 @@ type Job struct {
 	finished time.Time
 	history  []Event
 	subs     map[chan Event]struct{}
+	// tl is the job's streaming aggregate, attached when a worker starts
+	// the run and retained after completion (the timeline endpoint serves
+	// finished jobs too). Nil for cache-served jobs, whose timeline is
+	// rebuilt from the stored results on demand.
+	tl *timeline.Timeline
 }
 
 // newJob returns a queued job for a normalized scenario.
@@ -137,13 +149,64 @@ func (j *Job) subscribe() (history []Event, ch chan Event, cancel func()) {
 	}
 }
 
-// setRunning transitions queued → running.
-func (j *Job) setRunning() {
+// setRunning transitions queued → running, attaches the job's streaming
+// timeline, and returns how long the job sat queued (the queue-wait
+// histogram observation).
+func (j *Job) setRunning(tl *timeline.Timeline) time.Duration {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.tl = tl
+	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
 	j.publish(Event{Type: "running"})
+	return wait
+}
+
+// timelineSnapshot renders the job's live aggregate. Cache-served jobs
+// rebuild it from the stored per-trial results via the deterministic
+// sorted fold (no completion times survive the store, so the snapshot has
+// totals and robustness quantiles but no time bins). Returns nil for jobs
+// that have not started.
+func (j *Job) timelineSnapshot() *timeline.Snapshot {
+	j.mu.Lock()
+	tl := j.tl
+	outcome := j.outcome
+	trials := j.scenario.Run.Trials
+	j.mu.Unlock()
+	if tl != nil {
+		return tl.Snapshot()
+	}
+	if outcome == nil {
+		return nil
+	}
+	rebuilt := timeline.New(trials)
+	rebuilt.Fold(observations(outcome.Results))
+	return rebuilt.Snapshot()
+}
+
+// observations converts stored per-trial results into timeline
+// observations with unknown completion times and durations.
+func observations(results []*sim.Result) []timeline.Observation {
+	obs := make([]timeline.Observation, len(results))
+	for i, r := range results {
+		obs[i] = timeline.Observation{
+			Trial:      i,
+			At:         -1,
+			Duration:   -1,
+			Robustness: r.Robustness,
+			Counts: timeline.Counts{
+				Counted:          r.Counted,
+				OnTime:           r.OnTime,
+				Late:             r.Late,
+				DroppedReactive:  r.DroppedReactive,
+				DroppedProactive: r.DroppedProactive,
+				Unfinished:       r.Unfinished,
+				Deferrals:        r.Deferrals,
+			},
+		}
+	}
+	return obs
 }
 
 // complete transitions to done with an outcome; fromCache marks a result

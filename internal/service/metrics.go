@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,13 +36,105 @@ type Metrics struct {
 	EngineRuns atomic.Int64
 	// TrialsDone counts finished simulation trials across all jobs.
 	TrialsDone atomic.Int64
+
+	// QueueWait observes how long each job sat queued before a worker
+	// picked it up; RunDuration observes each job's engine run time
+	// (terminal jobs, failed included); TrialDuration observes every
+	// finished trial's wall time. All in seconds.
+	QueueWait     *LatencyHistogram
+	RunDuration   *LatencyHistogram
+	TrialDuration *LatencyHistogram
+}
+
+// latencyBuckets are the shared histogram upper bounds in seconds:
+// exponential-ish coverage from 1ms (a cache-adjacent trial) to 10min (a
+// simulated-week churn sweep on a saturated pool).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
 // newMetrics returns a Metrics anchored at the current time (the basis of
 // the trials/sec gauge).
 func newMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+	return &Metrics{
+		start:         time.Now(),
+		QueueWait:     newLatencyHistogram("job_queue_wait_seconds", "Time jobs spent queued before a worker started them."),
+		RunDuration:   newLatencyHistogram("job_run_seconds", "Engine run time of jobs that reached a terminal state."),
+		TrialDuration: newLatencyHistogram("trial_seconds", "Wall-clock duration of individual simulation trials."),
+	}
 }
+
+// LatencyHistogram is a fixed-bucket latency histogram with atomic
+// counters: Observe is lock-free and allocation-free, so the per-trial hot
+// path can feed it. Rendered in Prometheus text exposition format
+// (cumulative _bucket series plus _sum and _count).
+type LatencyHistogram struct {
+	name, help string
+	bounds     []float64 // upper bounds; one extra implicit +Inf bucket
+	counts     []atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits of the observation sum
+}
+
+// newLatencyHistogram builds a histogram over the shared bucket layout.
+func newLatencyHistogram(name, help string) *LatencyHistogram {
+	return &LatencyHistogram{
+		name:   name,
+		help:   help,
+		bounds: latencyBuckets,
+		counts: make([]atomic.Int64, len(latencyBuckets)+1),
+	}
+}
+
+// Observe records one latency in seconds.
+func (h *LatencyHistogram) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *LatencyHistogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values in seconds.
+func (h *LatencyHistogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// writePrometheus renders the histogram with the prunesimd_ prefix.
+func (h *LatencyHistogram) writePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP prunesimd_%s %s\n# TYPE prunesimd_%s histogram\n", h.name, h.help, h.name)
+	var cum int64
+	for i, le := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "prunesimd_%s_bucket{le=%q} %d\n", h.name, formatBound(le), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "prunesimd_%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "prunesimd_%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "prunesimd_%s_count %d\n", h.name, cum)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(le float64) string { return fmt.Sprintf("%g", le) }
 
 // TrialsPerSec reports finished trials per second of service uptime — the
 // throughput gauge of the perf trajectory.
@@ -77,11 +170,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth int) {
 	gauge("queue_depth", "Occupied slots of the bounded job queue.", fmt.Sprintf("%d", queueDepth))
 	gauge("trials_per_sec", "Finished trials per second of uptime.", fmt.Sprintf("%g", m.TrialsPerSec()))
 	gauge("uptime_seconds", "Seconds since the service started.", fmt.Sprintf("%g", time.Since(m.start).Seconds()))
+	m.QueueWait.writePrometheus(w)
+	m.RunDuration.writePrometheus(w)
+	m.TrialDuration.writePrometheus(w)
 }
 
-// String implements expvar.Var: the counters as one JSON object.
-func (m *Metrics) String() string {
-	data, _ := json.Marshal(map[string]any{
+// snapshotMap renders the counters as one map (the expvar JSON payload).
+func (m *Metrics) snapshotMap() map[string]any {
+	return map[string]any{
 		"jobs_submitted": m.JobsSubmitted.Load(),
 		"jobs_rejected":  m.JobsRejected.Load(),
 		"jobs_queued":    m.JobsQueued.Load(),
@@ -92,19 +188,37 @@ func (m *Metrics) String() string {
 		"engine_runs":    m.EngineRuns.Load(),
 		"trials_done":    m.TrialsDone.Load(),
 		"trials_per_sec": m.TrialsPerSec(),
-	})
+	}
+}
+
+// String implements expvar.Var: the counters as one JSON object.
+func (m *Metrics) String() string {
+	data, _ := json.Marshal(m.snapshotMap())
 	return string(data)
 }
 
-var publishMu sync.Mutex
+// currentMetrics is the Metrics instance behind the process-wide expvar
+// "prunesimd" variable; publishOnce guards the one-time expvar.Publish
+// (expvar panics on duplicate names).
+var (
+	currentMetrics atomic.Pointer[Metrics]
+	publishOnce    sync.Once
+)
 
-// publishExpvar exposes m as the expvar "prunesimd" variable. expvar panics
-// on duplicate names, and tests construct many servers per process, so only
-// the first server's metrics win the name; later calls are no-ops.
+// publishExpvar exposes m as the expvar "prunesimd" variable. The
+// published var delegates through currentMetrics, so the latest-created
+// server owns the name — a second server in one process (tests, embedders
+// running blue/green instances) replaces the delegate instead of silently
+// exporting the first server's dead counters.
 func publishExpvar(m *Metrics) {
-	publishMu.Lock()
-	defer publishMu.Unlock()
-	if expvar.Get("prunesimd") == nil {
-		expvar.Publish("prunesimd", m)
-	}
+	currentMetrics.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("prunesimd", expvar.Func(func() any {
+			cur := currentMetrics.Load()
+			if cur == nil {
+				return map[string]any{}
+			}
+			return cur.snapshotMap()
+		}))
+	})
 }

@@ -1,0 +1,221 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"prunesim/internal/service"
+)
+
+// TestTimelineSSEInterleaved: with the emission interval shrunk to a
+// nanosecond, `timeline` events must arrive interleaved with `progress`
+// events on the SSE stream, and the stream's last timeline snapshot must
+// cover the whole run before `done` closes it.
+func TestTimelineSSEInterleaved(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: 1, TimelineInterval: time.Nanosecond})
+	sc := smokeScenario(t)
+	body, _ := json.Marshal(map[string]any{"scenario": sc})
+	code, st, raw := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var types []string
+	var lastTimeline *service.Event
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scan.Scan() {
+		line := scan.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		types = append(types, ev.Type)
+		if ev.Type == "timeline" {
+			if ev.Timeline == nil {
+				t.Fatalf("timeline event without snapshot payload: %s", line)
+			}
+			cp := ev
+			lastTimeline = &cp
+		}
+		if ev.Type == "done" || ev.Type == "failed" {
+			break
+		}
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	firstProgress, firstTimeline, lastProgress := -1, -1, -1
+	for i, typ := range types {
+		switch typ {
+		case "progress":
+			if firstProgress < 0 {
+				firstProgress = i
+			}
+			lastProgress = i
+		case "timeline":
+			if firstTimeline < 0 {
+				firstTimeline = i
+			}
+		}
+	}
+	if firstTimeline < 0 {
+		t.Fatalf("no timeline events in stream: %v", types)
+	}
+	if firstProgress < 0 || firstTimeline < firstProgress {
+		t.Fatalf("timeline before any progress: %v", types)
+	}
+	// Interleaved, not merely appended: some timeline event lands before
+	// the final progress event (trials >= 2 in the smoke scenario).
+	if sc.Run.Trials >= 2 && firstTimeline > lastProgress {
+		t.Fatalf("timeline events only after all progress: %v", types)
+	}
+	if last := types[len(types)-1]; last != "done" {
+		t.Fatalf("stream ended with %q: %v", last, types)
+	}
+	snap := lastTimeline.Timeline
+	if snap.TrialsDone != sc.Run.Trials || snap.TrialsTotal != sc.Run.Trials {
+		t.Fatalf("final timeline covers %d/%d trials, want %d/%d",
+			snap.TrialsDone, snap.TrialsTotal, sc.Run.Trials, sc.Run.Trials)
+	}
+	if snap.Totals.Counted == 0 || snap.Robustness.N != sc.Run.Trials {
+		t.Fatalf("final timeline snapshot empty: %+v", snap)
+	}
+}
+
+// TestSSEHeartbeat: a stream with no events flowing (job parked on a
+// workerless queue) must still carry periodic `: keepalive` comment lines
+// so proxies and clients don't reap the idle connection.
+func TestSSEHeartbeat(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: -1, HeartbeatInterval: 25 * time.Millisecond})
+	sc := smokeScenario(t)
+	body, _ := json.Marshal(map[string]any{"scenario": sc})
+	code, st, raw := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The history replays `queued` and then the job stalls forever; the
+	// only further traffic is the heartbeat.
+	heartbeats := 0
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		line := scan.Text()
+		if strings.HasPrefix(line, "data: ") && !strings.Contains(line, `"queued"`) {
+			t.Fatalf("unexpected event on a stalled job: %q", line)
+		}
+		if line == ": keepalive" {
+			heartbeats++
+			if heartbeats == 2 {
+				return
+			}
+		}
+	}
+	t.Fatalf("stream ended after %d heartbeats (scan err %v), want 2", heartbeats, scan.Err())
+}
+
+// TestMetricsHistograms: after one completed job, /metrics must expose the
+// three latency histograms in valid Prometheus text form — cumulative
+// non-decreasing buckets ending in +Inf, with _count equal to the +Inf
+// bucket and consistent with what actually ran.
+func TestMetricsHistograms(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: 1})
+	sc := smokeScenario(t)
+	body, _ := json.Marshal(map[string]any{"scenario": sc})
+	code, st, raw := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	if final := waitDone(t, ts, st.ID); final.State != service.StateDone {
+		t.Fatalf("job ended %q (%s)", final.State, final.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readAll(t, resp)
+
+	wantCounts := map[string]int64{
+		"job_queue_wait_seconds": 1,
+		"job_run_seconds":        1,
+		"trial_seconds":          int64(sc.Run.Trials),
+	}
+	bucketRe := regexp.MustCompile(`^prunesimd_(\w+)_bucket\{le="([^"]+)"\} (\d+)$`)
+	for name, wantCount := range wantCounts {
+		if !strings.Contains(text, "# TYPE prunesimd_"+name+" histogram") {
+			t.Fatalf("missing TYPE histogram line for %s:\n%s", name, text)
+		}
+		var buckets []int64
+		sawInf := false
+		for _, line := range strings.Split(text, "\n") {
+			if m := bucketRe.FindStringSubmatch(line); m != nil && m[1] == name {
+				n, err := strconv.ParseInt(m[3], 10, 64)
+				if err != nil {
+					t.Fatalf("bucket line %q: %v", line, err)
+				}
+				buckets = append(buckets, n)
+				if m[2] == "+Inf" {
+					sawInf = true
+				}
+			}
+		}
+		if len(buckets) == 0 || !sawInf {
+			t.Fatalf("%s: %d bucket lines, +Inf present %v", name, len(buckets), sawInf)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Fatalf("%s buckets not cumulative: %v", name, buckets)
+			}
+		}
+		countLine := fmt.Sprintf("prunesimd_%s_count %d", name, wantCount)
+		if !strings.Contains(text, countLine+"\n") {
+			t.Fatalf("missing %q in /metrics:\n%s", countLine, text)
+		}
+		if last := buckets[len(buckets)-1]; last != wantCount {
+			t.Fatalf("%s +Inf bucket %d != count %d", name, last, wantCount)
+		}
+		if !strings.Contains(text, "prunesimd_"+name+"_sum ") {
+			t.Fatalf("missing _sum for %s", name)
+		}
+	}
+}
+
+// readAll drains an HTTP response body into a string.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

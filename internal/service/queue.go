@@ -2,8 +2,10 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"prunesim/internal/scenario"
+	"prunesim/internal/timeline"
 )
 
 // startWorkers launches the worker pool draining the job queue. Workers
@@ -69,21 +71,50 @@ func (s *Server) process(job *Job) {
 			job.fail(fmt.Errorf("internal error: %v", r))
 		}
 	}()
-	job.setRunning()
+	tl := timeline.New(job.scenario.Run.Trials)
+	wait := job.setRunning(tl)
+	s.metrics.QueueWait.Observe(wait.Seconds())
 	if len(job.scenario.Events) > 0 {
 		job.publish(Event{Type: "platform", Platform: job.scenario.Events})
 	}
 	s.metrics.EngineRuns.Add(1)
+	runStart := time.Now()
+	lastEmit := runStart
+	// The progress callback is serialized by the engine, so lastEmit needs
+	// no lock. Timeline events interleave with progress at the configured
+	// cadence; a final one lands after the last trial regardless.
 	outcome, err := s.engine.RunWithProgress(job.scenario, func(p scenario.TrialProgress) {
 		s.metrics.TrialsDone.Add(1)
+		s.metrics.TrialDuration.Observe(p.DurationSeconds)
+		tl.Observe(timeline.Observation{
+			Trial:      p.Trial,
+			At:         time.Since(runStart).Seconds(),
+			Duration:   p.DurationSeconds,
+			Robustness: p.Robustness,
+			Counts: timeline.Counts{
+				Counted:          p.Counted,
+				OnTime:           p.OnTime,
+				Late:             p.Late,
+				DroppedReactive:  p.DroppedReactive,
+				DroppedProactive: p.DroppedProactive,
+				Unfinished:       p.Unfinished,
+				Deferrals:        p.Deferrals,
+			},
+		})
 		tp := p
 		job.publish(Event{Type: "progress", Trial: &tp})
+		if now := time.Now(); now.Sub(lastEmit) >= s.timelineInterval {
+			lastEmit = now
+			job.publish(Event{Type: "timeline", Timeline: tl.Snapshot()})
+		}
 	})
+	s.metrics.RunDuration.Observe(time.Since(runStart).Seconds())
 	if err != nil {
 		s.metrics.JobsFailed.Add(1)
 		job.fail(err)
 		return
 	}
+	job.publish(Event{Type: "timeline", Timeline: tl.Snapshot()})
 	s.store.Put(job.hash, outcome)
 	s.metrics.JobsDone.Add(1)
 	job.complete(outcome, false)

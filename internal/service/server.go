@@ -11,7 +11,9 @@
 //	POST /v1/jobs                 submit a scenario (inline JSON or library name)
 //	GET  /v1/jobs                 list jobs
 //	GET  /v1/jobs/{id}            job status + outcome when done
-//	GET  /v1/jobs/{id}/events     SSE stream of per-trial progress
+//	GET  /v1/jobs/{id}/events     SSE stream of per-trial progress + timeline
+//	GET  /v1/jobs/{id}/timeline   streaming in-flight aggregate (binned rates,
+//	                              robustness-so-far, duration quantiles)
 //	GET  /v1/jobs/{id}/trials.csv per-trial result rows (CSV artifact)
 //	GET  /v1/scenarios            the embedded scenario library, runnable by name
 //	GET  /healthz                 liveness + queue/worker snapshot
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"prunesim/internal/scenario"
+	"prunesim/internal/timeline"
 	"prunesim/internal/trace"
 )
 
@@ -52,6 +55,16 @@ type Config struct {
 	// Library is the set of named scenarios POST /v1/jobs accepts by name
 	// and GET /v1/scenarios lists (typically examples/scenarios.Library()).
 	Library []scenario.Scenario
+	// TimelineInterval is the minimum spacing between `timeline` SSE
+	// events on a running job's stream (default 1s). Progress events are
+	// unaffected. Tests shrink it to interleave a timeline event after
+	// every trial.
+	TimelineInterval time.Duration
+	// HeartbeatInterval is the idle SSE keepalive cadence: a comment line
+	// (": keepalive") is written whenever the stream has nothing else to
+	// say for this long, so proxies and LBs do not reap streams during
+	// long trials. Default 15s; negative disables.
+	HeartbeatInterval time.Duration
 }
 
 // engineRunner is the seam between the worker pool and the sweep engine;
@@ -76,6 +89,9 @@ type Server struct {
 	// done closes when Close begins, unblocking long-lived handlers (SSE
 	// streams) so a graceful HTTP shutdown is not held hostage by them.
 	done chan struct{}
+	// timelineInterval and heartbeat are the resolved Config intervals.
+	timelineInterval time.Duration
+	heartbeat        time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -103,16 +119,24 @@ func New(cfg Config) *Server {
 	if store == nil {
 		store = NewMemoryStore()
 	}
+	if cfg.TimelineInterval == 0 {
+		cfg.TimelineInterval = time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 15 * time.Second
+	}
 	s := &Server{
-		engine:  scenario.NewEngine(cfg.Parallelism),
-		store:   store,
-		metrics: newMetrics(),
-		library: make(map[string]scenario.Scenario, len(cfg.Library)),
-		queue:   make(chan *Job, cfg.QueueCapacity),
-		start:   time.Now(),
-		done:    make(chan struct{}),
-		jobs:    make(map[string]*Job),
-		workers: workers,
+		engine:           scenario.NewEngine(cfg.Parallelism),
+		store:            store,
+		metrics:          newMetrics(),
+		library:          make(map[string]scenario.Scenario, len(cfg.Library)),
+		queue:            make(chan *Job, cfg.QueueCapacity),
+		start:            time.Now(),
+		done:             make(chan struct{}),
+		jobs:             make(map[string]*Job),
+		workers:          workers,
+		timelineInterval: cfg.TimelineInterval,
+		heartbeat:        cfg.HeartbeatInterval,
 	}
 	// Later entries override earlier ones by name (operator -scenarios
 	// files shadow embedded library scenarios), and the listing is deduped
@@ -182,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/jobs/{id}/trials.csv", s.handleTrialsCSV)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -399,12 +424,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if live == nil {
 		return
 	}
+	// Heartbeat: an SSE comment on an otherwise idle stream (a job stuck
+	// behind the queue, a long trial with no completions) keeps proxies
+	// and load balancers from reaping the connection. Comment lines are
+	// invisible to EventSource consumers.
+	var heartbeat <-chan time.Time
+	if s.heartbeat > 0 {
+		ticker := time.NewTicker(s.heartbeat)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
 		case <-s.done:
 			return
+		case <-heartbeat:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev, open := <-live:
 			if !open {
 				return
@@ -414,6 +454,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleTimeline serves the job's streaming in-flight aggregate: the
+// binned outcome time-series, robustness-so-far and trial-duration
+// quantiles. Populated while the job runs, final after it completes;
+// queued jobs get an empty-but-valid snapshot.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	st := job.status()
+	snap := job.timelineSnapshot()
+	if snap == nil {
+		// Not started and nothing cached: an empty snapshot that still
+		// reports the trial budget.
+		snap = timeline.New(st.TrialsTotal).Snapshot()
+	}
+	writeJSON(w, http.StatusOK, timelineResponse{JobID: st.ID, State: st.State, Timeline: snap})
+}
+
+// timelineResponse is the GET /v1/jobs/{id}/timeline body.
+type timelineResponse struct {
+	JobID    string             `json:"job_id"`
+	State    State              `json:"state"`
+	Timeline *timeline.Snapshot `json:"timeline"`
 }
 
 // handleTrialsCSV serves the per-job CSV artifact: one row per finished

@@ -1,0 +1,194 @@
+package stats
+
+import "math"
+
+// Online, fixed-memory estimators: a Running accumulator for moments and a
+// P² (Jain & Chlamtac 1985) quantile estimator. Both hold a handful of
+// float64 fields regardless of how many observations they fold, so the
+// streaming-statistics consumers (internal/timeline, future million-task
+// trials) never retain samples. Neither is safe for concurrent use; callers
+// serialize (internal/timeline does so behind its own mutex).
+
+// Running accumulates count, mean, min, max and variance online using
+// Welford's algorithm. The zero value is ready to use.
+type Running struct {
+	n          int
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Observe folds one value.
+func (r *Running) Observe(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.minV, r.maxV = x, x
+	} else {
+		if x < r.minV {
+			r.minV = x
+		}
+		if x > r.maxV {
+			r.maxV = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations folded so far.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest observation (0 before any observation).
+func (r *Running) Min() float64 { return r.minV }
+
+// Max returns the largest observation (0 before any observation).
+func (r *Running) Max() float64 { return r.maxV }
+
+// StdDev returns the sample standard deviation (n-1 denominator; 0 with
+// fewer than two observations).
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Summary renders the accumulator as the same Summary struct Summarize
+// produces over a retained sample — identical fields, no sample retained.
+func (r *Running) Summary() Summary {
+	s := Summary{N: r.n, Mean: r.mean, Min: r.minV, Max: r.maxV, StdDev: r.StdDev()}
+	if r.n > 1 {
+		s.CI95 = tCritical95(r.n-1) * s.StdDev / math.Sqrt(float64(r.n))
+	}
+	return s
+}
+
+// P2Quantile estimates one quantile online with the P² algorithm: five
+// markers tracking the running quantile without retaining the sample.
+// Estimation error is small for smooth distributions (the property test in
+// internal/timeline pins a bound); exact for the first five observations.
+// Create with NewP2Quantile; the zero value estimates the 0th percentile.
+type P2Quantile struct {
+	p     float64
+	n     int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // actual marker positions (1-based counts)
+	want  [5]float64 // desired marker positions
+	dwant [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator for quantile p in [0, 1]
+// (0.5 = median).
+func NewP2Quantile(p float64) P2Quantile {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return P2Quantile{p: p}
+}
+
+// P returns the quantile being estimated.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N returns the number of observations folded so far.
+func (e *P2Quantile) N() int { return e.n }
+
+// Observe folds one value.
+func (e *P2Quantile) Observe(x float64) {
+	if e.n < 5 {
+		// Initialization phase: collect the first five observations sorted.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			p := e.p
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	// Locate the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 1; i < 5; i++ {
+		e.want[i] += e.dwant[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			qn := e.parabolic(i, s)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, s)
+			}
+			e.q[i] = qn
+			e.pos[i] += s
+		}
+	}
+	e.n++
+}
+
+// parabolic is the P² piecewise-parabolic marker-height update.
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback marker-height update when the parabola leaves
+// [q[i-1], q[i+1]].
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate: 0 before any observation,
+// the exact sample quantile while fewer than five observations have been
+// folded, and the P² center-marker estimate afterwards.
+func (e *P2Quantile) Value() float64 {
+	switch {
+	case e.n == 0:
+		return 0
+	case e.n < 5:
+		// q[0:n] is sorted; interpolate exactly as Percentile does.
+		rank := e.p * float64(e.n-1)
+		lo := int(rank)
+		frac := rank - float64(lo)
+		if lo+1 >= e.n || frac == 0 {
+			return e.q[lo]
+		}
+		return e.q[lo]*(1-frac) + e.q[lo+1]*frac
+	default:
+		return e.q[2]
+	}
+}

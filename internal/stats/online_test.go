@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRunningMatchesSummarize: the online accumulator must agree with the
+// batch Summarize on every field, for random samples of many sizes.
+func TestRunningMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 30, 1000} {
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 50
+			r.Observe(xs[i])
+		}
+		want := Summarize(xs)
+		got := r.Summary()
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("n=%d: running %+v vs batch %+v", n, got, want)
+		}
+		for name, pair := range map[string][2]float64{
+			"mean":   {got.Mean, want.Mean},
+			"stddev": {got.StdDev, want.StdDev},
+			"ci95":   {got.CI95, want.CI95},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 1e-9*(1+math.Abs(pair[1])) {
+				t.Fatalf("n=%d: %s %v vs %v", n, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestRunningZeroValue(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 || r.StdDev() != 0 {
+		t.Fatalf("zero-value Running not zero: %+v", r.Summary())
+	}
+	if s := r.Summary(); s != (Summary{}) {
+		t.Fatalf("zero-value Summary %+v", s)
+	}
+}
+
+// TestP2QuantileExactUnderFive: with fewer than five observations the
+// estimator returns the exact interpolated sample quantile.
+func TestP2QuantileExactUnderFive(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9} {
+		e := NewP2Quantile(p)
+		if e.Value() != 0 {
+			t.Fatalf("empty estimator Value() = %v", e.Value())
+		}
+		xs := []float64{30, 10, 40, 20}
+		for i, x := range xs {
+			e.Observe(x)
+			sorted := append([]float64(nil), xs[:i+1]...)
+			sort.Float64s(sorted)
+			want, err := Percentile(sorted, p*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(e.Value()-want) > 1e-12 {
+				t.Fatalf("p=%v after %d obs: %v, want %v", p, i+1, e.Value(), want)
+			}
+		}
+	}
+}
+
+// TestP2QuantileAccuracy: on large random samples from smooth
+// distributions the P² estimate lands near the exact percentile. The
+// tolerance is expressed against the sample spread, so the bound is
+// scale-free.
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 100 },
+		"normal":      func() float64 { return rng.NormFloat64()*5 + 20 },
+		"exponential": func() float64 { return rng.ExpFloat64() * 10 },
+	}
+	for name, draw := range dists {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			e := NewP2Quantile(p)
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = draw()
+				e.Observe(xs[i])
+			}
+			exact, err := Percentile(xs, p*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spread := Summarize(xs).Max - Summarize(xs).Min
+			if diff := math.Abs(e.Value() - exact); diff > 0.05*spread {
+				t.Errorf("%s p%.0f: estimate %v vs exact %v (diff %v, spread %v)",
+					name, p*100, e.Value(), exact, diff, spread)
+			}
+			if e.N() != len(xs) {
+				t.Errorf("%s: N = %d, want %d", name, e.N(), len(xs))
+			}
+		}
+	}
+}
+
+// TestP2QuantileMonotoneInput: observing a sorted stream must keep marker
+// heights ordered and the median inside the observed range.
+func TestP2QuantileMonotoneInput(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	for i := 0; i < 1000; i++ {
+		e.Observe(float64(i))
+	}
+	if v := e.Value(); v < 0 || v > 999 {
+		t.Fatalf("median %v outside observed range", v)
+	}
+	if v := e.Value(); math.Abs(v-500) > 50 {
+		t.Fatalf("median of 0..999 estimated at %v", v)
+	}
+}
+
+func TestP2QuantileClampsP(t *testing.T) {
+	lo, hi := NewP2Quantile(-0.5), NewP2Quantile(1.5)
+	if lo.P() != 0 || hi.P() != 1 {
+		t.Fatalf("p clamped to %v, %v", lo.P(), hi.P())
+	}
+}

@@ -20,10 +20,13 @@ type Summary struct {
 	CI95 float64
 }
 
-// Summarize computes a Summary of xs. It panics on an empty slice.
+// Summarize computes a Summary of xs. An empty slice yields the zero
+// Summary (N == 0, every moment 0) rather than a panic — the summaries are
+// computed by long-lived service workers, where a panic on degenerate input
+// would take the daemon down.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
-		panic("stats: Summarize requires at least one value")
+		return Summary{}
 	}
 	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum float64
@@ -72,31 +75,32 @@ func tCritical95(df int) float64 {
 	return 1.96
 }
 
-// Mean returns the arithmetic mean. It panics on an empty slice.
+// Mean returns the arithmetic mean (0 for an empty slice).
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank interpolation. It panics on an empty slice or out-of-range p.
-func Percentile(xs []float64, p float64) float64 {
+// nearest-rank interpolation. An empty sample or an out-of-range p is an
+// error, not a panic.
+func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Percentile requires at least one value")
+		return 0, fmt.Errorf("stats: Percentile requires at least one value")
 	}
 	if p < 0 || p > 100 {
-		panic("stats: percentile out of range")
+		return 0, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // Histogram counts xs into equal-width bins across [lo, hi); values outside

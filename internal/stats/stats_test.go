@@ -29,13 +29,18 @@ func TestSummarizeSingleValue(t *testing.T) {
 	}
 }
 
-func TestSummarizeEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Summarize(nil)
+func TestSummarizeEmptyIsZeroValue(t *testing.T) {
+	// Reachable from service workers on degenerate input: empty samples
+	// must yield the documented zero Summary, never panic.
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+	if s := Summarize([]float64{}); s != (Summary{}) {
+		t.Fatalf("Summarize(empty) = %+v, want zero Summary", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", m)
+	}
 }
 
 func TestSummaryString(t *testing.T) {
@@ -75,32 +80,31 @@ func TestPercentile(t *testing.T) {
 	xs := []float64{10, 20, 30, 40, 50}
 	cases := map[float64]float64{0: 10, 50: 30, 100: 50, 25: 20, 75: 40}
 	for p, want := range cases {
-		if got := Percentile(xs, p); math.Abs(got-want) > 1e-9 {
-			t.Errorf("P%v = %v, want %v", p, got, want)
+		if got, err := Percentile(xs, p); err != nil || math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%v = %v (err %v), want %v", p, got, err, want)
 		}
 	}
-	if got := Percentile(xs, 10); math.Abs(got-14) > 1e-9 {
-		t.Errorf("P10 interpolation = %v, want 14", got)
+	if got, err := Percentile(xs, 10); err != nil || math.Abs(got-14) > 1e-9 {
+		t.Errorf("P10 interpolation = %v (err %v), want 14", got, err)
 	}
-	if got := Percentile([]float64{7}, 50); got != 7 {
-		t.Errorf("single-element percentile = %v", got)
+	if got, err := Percentile([]float64{7}, 50); err != nil || got != 7 {
+		t.Errorf("single-element percentile = %v (err %v)", got, err)
 	}
 }
 
-func TestPercentilePanics(t *testing.T) {
-	for i, f := range []func(){
-		func() { Percentile(nil, 50) },
-		func() { Percentile([]float64{1}, -1) },
-		func() { Percentile([]float64{1}, 101) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			f()
-		}()
+func TestPercentileErrors(t *testing.T) {
+	cases := []struct {
+		xs []float64
+		p  float64
+	}{
+		{nil, 50},
+		{[]float64{1}, -1},
+		{[]float64{1}, 101},
+	}
+	for i, c := range cases {
+		if got, err := Percentile(c.xs, c.p); err == nil {
+			t.Errorf("case %d: Percentile(%v, %v) = %v, want error", i, c.xs, c.p, got)
+		}
 	}
 }
 

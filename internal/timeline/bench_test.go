@@ -1,0 +1,46 @@
+package timeline
+
+import (
+	"testing"
+)
+
+// BenchmarkTimelineObserve measures the streaming-aggregator hot path: one
+// finished trial folded into bins, totals and six online estimators. The
+// bench-regression gate holds this at 0 allocs/op — the aggregator exists
+// so million-trial sweeps can report progress without growing memory.
+func BenchmarkTimelineObserve(b *testing.B) {
+	tl := NewWithWidth(b.N, 1.0)
+	o := Observation{
+		Trial:      0,
+		At:         0,
+		Duration:   0.2,
+		Robustness: 71.5,
+		Counts:     Counts{Counted: 14800, OnTime: 10500, Late: 1200, DroppedReactive: 2000, DroppedProactive: 900, Unfinished: 200, Deferrals: 3400},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Trial = i
+		// Advance time so bins fill and compaction amortizes in, as in a
+		// real run (one compaction per doubling of elapsed time).
+		o.At = float64(i) * 0.01
+		tl.Observe(o)
+	}
+}
+
+// BenchmarkTimelineSnapshot measures the reporting path (allocates by
+// design; called at SSE/endpoint cadence, not per trial).
+func BenchmarkTimelineSnapshot(b *testing.B) {
+	tl := NewWithWidth(1000, 1.0)
+	for i := 0; i < 1000; i++ {
+		tl.Observe(Observation{Trial: i, At: float64(i) * 0.05, Duration: 0.1, Robustness: 70,
+			Counts: Counts{Counted: 100, OnTime: 70}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := tl.Snapshot(); s.TrialsDone != 1000 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package timeline
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"prunesim/internal/stats"
+)
+
+// obsAt builds a minimal observation completing at time at.
+func obsAt(trial int, at float64) Observation {
+	return Observation{
+		Trial:      trial,
+		At:         at,
+		Duration:   0.1,
+		Robustness: 50,
+		Counts:     Counts{Counted: 10, OnTime: 5, Late: 3, DroppedReactive: 1, DroppedProactive: 1},
+	}
+}
+
+// TestBinBoundaries pins the half-open [start, start+width) semantics: an
+// observation exactly on a boundary belongs to the later bin.
+func TestBinBoundaries(t *testing.T) {
+	tl := NewWithWidth(4, 1.0)
+	tl.Observe(obsAt(0, 0))     // bin 0
+	tl.Observe(obsAt(1, 0.999)) // bin 0: strictly below the boundary
+	tl.Observe(obsAt(2, 1.0))   // bin 1: boundary belongs to the later bin
+	tl.Observe(obsAt(3, 2.5))   // bin 2
+	s := tl.Snapshot()
+	if len(s.Bins) != 3 {
+		t.Fatalf("bins = %d, want 3 (%+v)", len(s.Bins), s.Bins)
+	}
+	if got := []int{s.Bins[0].Trials, s.Bins[1].Trials, s.Bins[2].Trials}; got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("per-bin trials %v, want [2 1 1]", got)
+	}
+	for i, b := range s.Bins {
+		if b.StartSeconds != float64(i) {
+			t.Fatalf("bin %d starts at %v", i, b.StartSeconds)
+		}
+	}
+	if s.ElapsedSeconds != 2.5 {
+		t.Fatalf("elapsed %v, want 2.5", s.ElapsedSeconds)
+	}
+}
+
+// TestCompaction: outgrowing the window merges bin pairs in place, doubles
+// the width, and conserves every count exactly.
+func TestCompaction(t *testing.T) {
+	tl := NewWithWidth(0, 1.0)
+	for i := 0; i < maxBins; i++ {
+		tl.Observe(obsAt(i, float64(i)))
+	}
+	if s := tl.Snapshot(); s.BinWidthSeconds != 1.0 || len(s.Bins) != maxBins {
+		t.Fatalf("pre-compaction: width %v bins %d", s.BinWidthSeconds, len(s.Bins))
+	}
+	// One step past the window forces a single compaction.
+	tl.Observe(obsAt(maxBins, float64(maxBins)))
+	s := tl.Snapshot()
+	if s.BinWidthSeconds != 2.0 {
+		t.Fatalf("width after compaction %v, want 2", s.BinWidthSeconds)
+	}
+	if want := maxBins/2 + 1; len(s.Bins) != want {
+		t.Fatalf("bins after compaction %d, want %d", len(s.Bins), want)
+	}
+	var trials, counted int
+	for _, b := range s.Bins {
+		trials += b.Trials
+		counted += b.Counts.Counted
+	}
+	if trials != maxBins+1 || counted != 10*(maxBins+1) {
+		t.Fatalf("conservation violated: %d trials / %d counted after compaction", trials, counted)
+	}
+	// First merged bin covers the old bins 0 and 1.
+	if s.Bins[0].Trials != 2 || s.Bins[0].StartSeconds != 0 {
+		t.Fatalf("merged bin 0: %+v", s.Bins[0])
+	}
+	// A far-future observation triggers repeated doubling in one Observe.
+	tl.Observe(obsAt(maxBins+1, 1e6))
+	s = tl.Snapshot()
+	if idx := int(1e6 / s.BinWidthSeconds); idx >= maxBins {
+		t.Fatalf("width %v still cannot place t=1e6", s.BinWidthSeconds)
+	}
+	trials = 0
+	for _, b := range s.Bins {
+		trials += b.Trials
+	}
+	if trials != maxBins+2 {
+		t.Fatalf("conservation violated after repeated doubling: %d trials", trials)
+	}
+}
+
+// TestFoldDeterminism: folding the same batch in any order produces a
+// byte-identical snapshot — completion-order nondeterminism from
+// concurrent trials must not leak into rebuilt timelines.
+func TestFoldDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	obs := make([]Observation, 200)
+	for i := range obs {
+		obs[i] = Observation{
+			Trial:      i,
+			At:         rng.Float64() * 30,
+			Duration:   rng.Float64(),
+			Robustness: rng.Float64() * 100,
+			Counts:     Counts{Counted: 10 + i%7, OnTime: i % 11, Deferrals: i % 3},
+		}
+	}
+	snapJSON := func(in []Observation) string {
+		tl := New(len(in))
+		tl.Fold(in)
+		data, err := json.Marshal(tl.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	want := snapJSON(obs)
+	for round := 0; round < 5; round++ {
+		shuffled := append([]Observation(nil), obs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := snapJSON(shuffled); got != want {
+			t.Fatalf("round %d: shuffled fold diverged:\n%s\nvs\n%s", round, got, want)
+		}
+	}
+}
+
+// TestQuantileErrorBound: the snapshot's P² robustness percentiles must
+// track the exact percentiles of the observed per-trial robustness within
+// a few percent of the sample spread.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tl := New(10000)
+	robs := make([]float64, 10000)
+	for i := range robs {
+		robs[i] = math.Min(100, math.Max(0, 70+10*rng.NormFloat64()))
+		tl.Observe(Observation{Trial: i, At: float64(i) * 0.01, Robustness: robs[i]})
+	}
+	s := tl.Snapshot()
+	sort.Float64s(robs)
+	spread := robs[len(robs)-1] - robs[0]
+	for _, c := range []struct {
+		name string
+		got  float64
+		p    float64
+	}{
+		{"p50", s.Robustness.P50, 50},
+		{"p90", s.Robustness.P90, 90},
+		{"p99", s.Robustness.P99, 99},
+	} {
+		exact, err := stats.Percentile(robs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(c.got - exact); diff > 0.05*spread {
+			t.Errorf("%s: estimate %v vs exact %v (diff %v, spread %v)", c.name, c.got, exact, diff, spread)
+		}
+	}
+	if s.Robustness.N != len(robs) || s.Robustness.Min != robs[0] || s.Robustness.Max != robs[len(robs)-1] {
+		t.Fatalf("summary %+v inconsistent with sample", s.Robustness)
+	}
+}
+
+// TestUnknownTimeAndDuration: At < 0 folds into totals but not bins;
+// Duration < 0 is excluded from the duration summary (omitted entirely
+// when no trial carried one).
+func TestUnknownTimeAndDuration(t *testing.T) {
+	tl := New(2)
+	tl.Observe(Observation{Trial: 0, At: -1, Duration: -1, Robustness: 60, Counts: Counts{Counted: 4, OnTime: 2}})
+	tl.Observe(Observation{Trial: 1, At: -1, Duration: -1, Robustness: 80, Counts: Counts{Counted: 4, OnTime: 4}})
+	s := tl.Snapshot()
+	if len(s.Bins) != 0 || s.ElapsedSeconds != 0 || s.TrialsPerSec != 0 {
+		t.Fatalf("timeless observations produced bins: %+v", s)
+	}
+	if s.TrialsDone != 2 || s.Totals.Counted != 8 || s.Totals.OnTime != 6 {
+		t.Fatalf("totals %+v", s)
+	}
+	if s.Rates.OnTimePercent != 75 {
+		t.Fatalf("on-time rate %v, want 75", s.Rates.OnTimePercent)
+	}
+	if s.TrialDuration != nil {
+		t.Fatalf("duration summary present without known durations: %+v", s.TrialDuration)
+	}
+	if s.Robustness.Mean != 70 {
+		t.Fatalf("robustness mean %v, want 70", s.Robustness.Mean)
+	}
+}
+
+// TestEmptySnapshot: a fresh timeline snapshots cleanly (the endpoint
+// serves queued jobs too).
+func TestEmptySnapshot(t *testing.T) {
+	s := New(30).Snapshot()
+	if s.TrialsDone != 0 || s.TrialsTotal != 30 || len(s.Bins) != 0 || s.TrialDuration != nil {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty snapshot does not marshal: %v", err)
+	}
+}
+
+// TestConcurrentObserveSnapshot exercises the mutex under the race
+// detector: many writers, one reader polling snapshots.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	tl := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				tl.Observe(obsAt(w*125+i, float64(i)*0.05))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tl.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s := tl.Snapshot(); s.TrialsDone != 1000 {
+		t.Fatalf("trials %d, want 1000", s.TrialsDone)
+	}
+}
+
+// TestObserveDoesNotAllocate pins the steady-state hot path at zero
+// allocations (the bench gate asserts the same through benchdiff).
+func TestObserveDoesNotAllocate(t *testing.T) {
+	tl := NewWithWidth(0, 1.0)
+	o := obsAt(0, 1)
+	// Warm past the initialization phase of the P² estimators.
+	for i := 0; i < 10; i++ {
+		tl.Observe(o)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tl.Observe(o)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", allocs)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"prunesim/internal/sim"
 	"prunesim/internal/stats"
 	"prunesim/internal/task"
+	"prunesim/internal/timeline"
 	"prunesim/internal/workload"
 )
 
@@ -224,8 +225,26 @@ type (
 	Summary = stats.Summary
 )
 
-// Summarize computes mean, stddev, min/max and 95% CI of xs.
+// Summarize computes mean, stddev, min/max and 95% CI of xs (the zero
+// Summary on an empty sample).
 func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// Live observability (see internal/timeline): the fixed-memory streaming
+// aggregator behind prunesimd's /v1/jobs/{id}/timeline endpoint and
+// hcsim's live progress — embedders drive it from a
+// RunScenarioWithProgress callback.
+type (
+	// Timeline folds per-trial outcomes into a bounded binned time-series
+	// plus online robustness/duration statistics.
+	Timeline = timeline.Timeline
+	// TimelineObservation is one finished trial as the timeline sees it.
+	TimelineObservation = timeline.Observation
+	// TimelineSnapshot is the JSON view of the aggregate.
+	TimelineSnapshot = timeline.Snapshot
+)
+
+// NewTimeline returns a streaming timeline expecting totalTrials trials.
+func NewTimeline(totalTrials int) *Timeline { return timeline.New(totalTrials) }
 
 // Experiments (see internal/experiments).
 type (
