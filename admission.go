@@ -1,0 +1,78 @@
+package prunesim
+
+import "prunesim/internal/admission"
+
+// Online admission control (see internal/admission): the pruning decision
+// path as a stateful "should I enqueue this task?" client instead of a
+// simulation. Construct with NewAdmission, stream arrivals through Decide,
+// report finished work through Complete:
+//
+//	sess, err := prunesim.NewAdmission(prunesim.AdmissionConfig{
+//		Pruning: prunesim.DefaultPruning(prunesim.StandardPET().NumTaskTypes()),
+//	})
+//	d, err := sess.Decide(prunesim.AdmissionTaskSpec{Type: 3, Deadline: 12.5}, now)
+//	if d.Verdict == prunesim.AdmissionAccept { /* run it on machine d.Machine */ }
+//	// ... later:
+//	c, err := sess.Complete(d.TaskID, doneAt)
+//
+// This is the same engine behind prunesimd's /v1/sessions endpoints; an
+// AdmissionSession is not safe for concurrent use (the daemon serializes
+// per session).
+type (
+	// AdmissionSession is a live admission-control session: per-machine
+	// probabilistic completion-time state plus the pruner.
+	AdmissionSession = admission.Session
+	// AdmissionTaskSpec describes one arriving task.
+	AdmissionTaskSpec = admission.TaskSpec
+	// AdmissionDecision is the verdict for one arrival.
+	AdmissionDecision = admission.Decision
+	// AdmissionCompletion is the result of reporting a finished task.
+	AdmissionCompletion = admission.Completion
+	// AdmissionVerdict is accept, defer or drop.
+	AdmissionVerdict = admission.Verdict
+	// AdmissionEviction reports a queued task pruned as a side effect.
+	AdmissionEviction = admission.Eviction
+	// AdmissionSnapshot is a session's observable state.
+	AdmissionSnapshot = admission.Snapshot
+)
+
+// Admission verdicts.
+const (
+	// AdmissionAccept: the task was enqueued on Decision.Machine.
+	AdmissionAccept = admission.VerdictAccept
+	// AdmissionDefer: not enqueued now; retry later.
+	AdmissionDefer = admission.VerdictDefer
+	// AdmissionDrop: rejected for good.
+	AdmissionDrop = admission.VerdictDrop
+)
+
+// AdmissionConfig describes the platform an admission session admits tasks
+// onto. The zero value selects the standard PET matrix, one machine per
+// machine type, the MCT heuristic and pruning disabled.
+type AdmissionConfig struct {
+	// Matrix is the PET matrix; nil selects StandardPET().
+	Matrix *PETMatrix
+	// MachineTypes assigns a PET machine-type column to each machine; nil
+	// selects one machine of every type of the matrix.
+	MachineTypes []int
+	// Heuristic is an immediate-mode heuristic name ("MCT", "MET", "KPB",
+	// "RR", "OLB"); empty selects "MCT".
+	Heuristic string
+	// Slots caps pending tasks per machine queue; 0 means unbounded.
+	Slots int
+	// Pruning configures the pruning mechanism; the zero value disables
+	// probabilistic pruning (reactive deadline drops still apply).
+	Pruning PruningConfig
+}
+
+// NewAdmission validates the configuration and opens an admission session.
+// Call Close when done with it.
+func NewAdmission(cfg AdmissionConfig) (*AdmissionSession, error) {
+	return admission.NewSession(admission.Config{
+		Matrix:       cfg.Matrix,
+		MachineTypes: cfg.MachineTypes,
+		Heuristic:    cfg.Heuristic,
+		Slots:        cfg.Slots,
+		Prune:        cfg.Pruning,
+	})
+}

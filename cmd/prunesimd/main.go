@@ -1,25 +1,39 @@
 // Command prunesimd is the prunesim serving daemon: an HTTP/JSON service
 // that accepts scenario submissions, runs them asynchronously through the
 // shared sweep engine on a bounded queue + worker pool, caches outcomes by
-// canonical scenario content hash, and streams live per-trial progress.
+// canonical scenario content hash, and streams live per-trial progress. It
+// also serves online admission control: register a platform as a session
+// and stream real task arrivals through the pruner for accept/defer/drop
+// verdicts.
 //
 //	prunesimd                          # listen on :8080
 //	prunesimd -addr :9000 -workers 4   # bounded worker pool
 //	prunesimd -scenarios ./my-lib      # extra scenario files on top of the
 //	                                   # embedded examples/scenarios library
+//	prunesimd -session-ttl 1h          # keep idle admission sessions longer
 //
-// Endpoints (see DESIGN.md and README.md for curl examples):
+// Endpoints (the full surface, request/response schemas and the error
+// envelope are documented in API.md; curl examples in README.md):
 //
-//	POST /v1/jobs                 submit {"scenario": {...}} or {"name": "..."}
-//	GET  /v1/jobs                 list jobs
-//	GET  /v1/jobs/{id}            status + outcome
-//	GET  /v1/jobs/{id}/events     SSE per-trial progress + periodic timeline
-//	GET  /v1/jobs/{id}/timeline   live in-flight aggregate (binned rates,
-//	                              robustness-so-far, duration quantiles)
-//	GET  /v1/jobs/{id}/trials.csv per-trial CSV artifact
-//	GET  /v1/scenarios            the scenario library
-//	GET  /healthz                 liveness
-//	GET  /metrics                 Prometheus text metrics + latency histograms
+//	POST   /v1/jobs                  submit {"scenario": {...}} or {"name": "..."}
+//	GET    /v1/jobs                  list jobs
+//	GET    /v1/jobs/{id}             status + outcome
+//	GET    /v1/jobs/{id}/events      SSE per-trial progress + periodic timeline
+//	GET    /v1/jobs/{id}/timeline    live in-flight aggregate (binned rates,
+//	                                 robustness-so-far, duration quantiles)
+//	GET    /v1/jobs/{id}/trials.csv  per-trial CSV artifact
+//	GET    /v1/scenarios             the scenario library
+//	POST   /v1/sessions              register an admission-control session
+//	GET    /v1/sessions              list live sessions
+//	GET    /v1/sessions/{id}         session snapshot (machines, counters)
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/sessions/{id}/decide            verdict for one arriving task
+//	POST   /v1/sessions/{id}/decide/batch      verdicts for a batch of arrivals
+//	POST   /v1/sessions/{id}/complete          report a finished task
+//	POST   /v1/sessions/{id}/machines/{machine}/fail    take a machine down
+//	POST   /v1/sessions/{id}/machines/{machine}/rejoin  bring it back
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text metrics + latency histograms
 package main
 
 import (
@@ -45,6 +59,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		parallelism = flag.Int("parallelism", 0, "max concurrent trials per job (0 = per-scenario setting)")
 		extraDir    = flag.String("scenarios", "", "directory of extra scenario *.json files to add to the library")
+		sessionTTL  = flag.Duration("session-ttl", 0, "idle TTL of admission sessions (0 = 15m default, negative = never expire)")
+		maxSessions = flag.Int("max-sessions", 0, "live admission session cap (0 = 256 default)")
 	)
 	flag.Parse()
 
@@ -66,6 +82,8 @@ func main() {
 		Workers:       *workers,
 		Parallelism:   *parallelism,
 		Library:       library,
+		SessionTTL:    *sessionTTL,
+		MaxSessions:   *maxSessions,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

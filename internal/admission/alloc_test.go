@@ -1,0 +1,46 @@
+//go:build !race
+
+package admission
+
+import (
+	"testing"
+
+	"prunesim/internal/core"
+)
+
+// TestDecideZeroAlloc pins the steady-state Decide/Complete path at zero
+// heap allocations: the task free list, shared convolution scratch and
+// session-owned result buffers must absorb all transient state. Guarded out
+// under -race (the race runtime instruments allocations).
+func TestDecideZeroAlloc(t *testing.T) {
+	sess, err := NewSession(Config{
+		Matrix:       testMatrix(),
+		MachineTypes: []int{0, 1},
+		Heuristic:    "MCT",
+		Prune:        core.DefaultConfig(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	now := 0.0
+	step := func() {
+		now += 0.001
+		d, err := sess.Decide(TaskSpec{Type: int(now*1000) % 2, Deadline: now + 50}, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Verdict == VerdictAccept {
+			if _, err := sess.Complete(d.TaskID, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm free list, live map and pruner state
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("steady-state decide path allocates %.1f times per op, want 0", allocs)
+	}
+}

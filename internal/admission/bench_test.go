@@ -1,0 +1,103 @@
+package admission
+
+import (
+	"testing"
+
+	"prunesim/internal/core"
+)
+
+func benchSession(b *testing.B) *Session {
+	b.Helper()
+	sess, err := NewSession(Config{
+		Matrix:       testMatrix(),
+		MachineTypes: []int{0, 1},
+		Heuristic:    "MCT",
+		Prune:        core.DefaultConfig(2),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sess.Close)
+	return sess
+}
+
+// BenchmarkAdmissionDecide measures the steady-state decide latency on the
+// anchor-hit path: one task in flight, machine idle at each arrival, every
+// accept immediately completed. This is the hot path a client sees per
+// arrival; the benchdiff gate holds it at 0 allocs/op.
+func BenchmarkAdmissionDecide(b *testing.B) {
+	sess := benchSession(b)
+	now := 0.0
+	// Warm the free list, live map and pruner state before timing.
+	for i := 0; i < 64; i++ {
+		now += 0.001
+		d, err := sess.Decide(TaskSpec{Type: i % 2, Deadline: now + 50}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Verdict == VerdictAccept {
+			if _, err := sess.Complete(d.TaskID, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 0.001
+		d, err := sess.Decide(TaskSpec{Type: i % 2, Deadline: now + 50}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Verdict == VerdictAccept {
+			if _, err := sess.Complete(d.TaskID, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAdmissionSustained measures sustained decision throughput with
+// realistic queue depth: arrivals outpace completions so decisions convolve
+// down non-empty queues, and the oldest running task completes every fourth
+// op. Reports decisions/s alongside ns/op.
+func BenchmarkAdmissionSustained(b *testing.B) {
+	sess := benchSession(b)
+	now := 0.0
+	var runnable []int
+	decide := func(i int) {
+		now += 0.3
+		d, err := sess.Decide(TaskSpec{Type: i % 2, Deadline: now + 6 + float64(i%5)}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Verdict == VerdictAccept && d.Started {
+			runnable = append(runnable, d.TaskID)
+		}
+		for _, ev := range d.Evicted {
+			for k, id := range runnable {
+				if id == ev.TaskID {
+					runnable = append(runnable[:k], runnable[k+1:]...)
+					break
+				}
+			}
+		}
+		if i%4 == 3 && len(runnable) > 0 {
+			c, err := sess.Complete(runnable[0], now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runnable = append(runnable[1:], c.Started...)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		decide(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decide(i + 64)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -217,6 +217,15 @@ func (p *Pruner) ShouldDeferValued(chance float64, taskType int, value float64) 
 	return chance <= p.valuedThreshold(taskType, value)
 }
 
+// ValuedThreshold returns the exact threshold a ShouldDropValued or
+// ShouldDeferValued test compares the chance of success against for a task
+// of the given type and value: the fairness-adjusted threshold with the
+// value-aware scaling applied. Admission-control responses report it so
+// clients can see how far a verdict was from flipping.
+func (p *Pruner) ValuedThreshold(taskType int, value float64) float64 {
+	return p.valuedThreshold(taskType, value)
+}
+
 // valuedThreshold applies the value-aware scaling to the fairness-adjusted
 // threshold: the threshold is multiplied by ValueRef/value, bounded to
 // [0.5, 1.5] and finally clamped to [0, 1]. A task worth twice the

@@ -83,24 +83,7 @@ func NewEngine(parallelism int) *Engine {
 // matrix returns the cached PET matrix for a normalized scenario, building
 // it on first use.
 func (e *Engine) matrix(s Scenario) *pet.Matrix {
-	params := pet.DefaultParams()
-	if o := s.Platform.PET; o != nil {
-		if o.BinWidth > 0 {
-			params.BinWidth = o.BinWidth
-		}
-		if o.Samples > 0 {
-			params.Samples = o.Samples
-		}
-		if o.ShapeLo > 0 {
-			params.ShapeLo = o.ShapeLo
-		}
-		if o.ShapeHi > 0 {
-			params.ShapeHi = o.ShapeHi
-		}
-		if o.Seed != 0 {
-			params.Seed = o.Seed
-		}
-	}
+	params := s.Platform.PETParams()
 	key := matrixKey{profile: s.Platform.Profile, params: params}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -121,17 +104,9 @@ func (e *Engine) matrix(s Scenario) *pet.Matrix {
 }
 
 // machineTypes returns the per-machine PET column assignment of a
-// normalized scenario: homogeneous clusters are all type 0; standard
-// clusters cycle through the matrix's machine types.
+// normalized scenario (see Platform.MachineTypes).
 func machineTypes(s Scenario, m *pet.Matrix) []int {
-	types := make([]int, s.Platform.Machines)
-	if s.Platform.Profile == ProfileHomogeneous {
-		return types
-	}
-	for i := range types {
-		types[i] = i % m.NumMachineTypes()
-	}
-	return types
+	return s.Platform.MachineTypes(m)
 }
 
 // TrialProgress reports one finished trial during RunWithProgress. Done

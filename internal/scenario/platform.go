@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+
+	"prunesim/internal/core"
+	"prunesim/internal/pet"
+)
+
+// This file holds the platform/prune halves of the scenario schema as
+// standalone, reusable specs: the admission-control subsystem registers
+// sessions from exactly the same JSON shapes a full scenario uses, so the
+// defaulting and lowering logic lives here once and both the sweep engine
+// and the admission layer delegate to it.
+
+// WithDefaults returns the platform spec with the paper defaults filled
+// into omitted fields (profile "standard", 8 machines, heuristic "MM").
+// Scenario.Normalize delegates here.
+func (p Platform) WithDefaults() Platform {
+	if p.Profile == "" {
+		p.Profile = ProfileStandard
+	}
+	if p.Machines == 0 {
+		p.Machines = 8
+	}
+	if p.Heuristic == "" {
+		p.Heuristic = "MM"
+	}
+	return p
+}
+
+// PETParams lowers the spec's PET overrides onto the paper's generation
+// parameters.
+func (p Platform) PETParams() pet.Params {
+	params := pet.DefaultParams()
+	if o := p.PET; o != nil {
+		if o.BinWidth > 0 {
+			params.BinWidth = o.BinWidth
+		}
+		if o.Samples > 0 {
+			params.Samples = o.Samples
+		}
+		if o.ShapeLo > 0 {
+			params.ShapeLo = o.ShapeLo
+		}
+		if o.ShapeHi > 0 {
+			params.ShapeHi = o.ShapeHi
+		}
+		if o.Seed != 0 {
+			params.Seed = o.Seed
+		}
+	}
+	return params
+}
+
+// BuildMatrix generates the PET matrix the (defaulted) platform spec
+// describes. Callers that build many platforms should cache by
+// (Profile, PETParams) — see Engine.matrix.
+func (p Platform) BuildMatrix() (*pet.Matrix, error) {
+	params := p.PETParams()
+	switch p.Profile {
+	case ProfileHomogeneous:
+		return pet.Homogeneous(params), nil
+	case ProfileStandard:
+		return pet.Standard(params), nil
+	default:
+		return nil, fmt.Errorf("unknown platform.profile %q (want %q or %q)",
+			p.Profile, ProfileStandard, ProfileHomogeneous)
+	}
+}
+
+// MachineTypes returns the per-machine PET column assignment of a defaulted
+// platform spec: homogeneous clusters are all type 0; standard clusters
+// cycle through the matrix's machine types.
+func (p Platform) MachineTypes(m *pet.Matrix) []int {
+	types := make([]int, p.Machines)
+	if p.Profile == ProfileHomogeneous {
+		return types
+	}
+	for i := range types {
+		types[i] = i % m.NumMachineTypes()
+	}
+	return types
+}
+
+// WithDefaults returns the prune spec with the paper defaults filled into
+// omitted fields (threshold 0.5, deferring on, reactive toggle, alpha 1,
+// fairness 0.05). Scenario.Normalize delegates here.
+func (p Prune) WithDefaults() Prune {
+	if p.Threshold == nil {
+		th := 0.5
+		p.Threshold = &th
+	}
+	if p.Defer == nil {
+		def := true
+		p.Defer = &def
+	}
+	if p.Toggle == "" {
+		p.Toggle = "reactive"
+	}
+	if p.DropAlpha == 0 {
+		p.DropAlpha = 1
+	}
+	if p.Fairness == nil {
+		fair := 0.05
+		p.Fairness = &fair
+	}
+	if p.ValueAware && p.ValueRef == 0 {
+		p.ValueRef = 1
+	}
+	return p
+}
+
+// CoreConfig lowers a defaulted prune spec to the pruner's configuration
+// for the given number of task types. A disabled spec lowers to
+// core.Disabled regardless of its other fields, mirroring the simulator.
+func (p Prune) CoreConfig(numTaskTypes int) (core.Config, error) {
+	mode, err := p.toggleMode()
+	if err != nil {
+		return core.Config{}, err
+	}
+	if !p.Enabled {
+		return core.Disabled(numTaskTypes), nil
+	}
+	return core.Config{
+		Enabled:        true,
+		Threshold:      *p.Threshold,
+		DeferEnabled:   *p.Defer,
+		DropMode:       mode,
+		DropAlpha:      p.DropAlpha,
+		FairnessFactor: *p.Fairness,
+		ValueAware:     p.ValueAware,
+		ValueRef:       p.ValueRef,
+		NumTaskTypes:   numTaskTypes,
+	}, nil
+}

@@ -397,41 +397,10 @@ func (s Scenario) Normalize() (Scenario, error) {
 		}
 	}
 
-	// Platform defaults.
-	p := &s.Platform
-	if p.Profile == "" {
-		p.Profile = ProfileStandard
-	}
-	if p.Machines == 0 {
-		p.Machines = 8
-	}
-	if p.Heuristic == "" {
-		p.Heuristic = "MM"
-	}
-
-	// Prune defaults (core.DefaultConfig's values).
-	pr := &s.Prune
-	if pr.Threshold == nil {
-		th := 0.5
-		pr.Threshold = &th
-	}
-	if pr.Defer == nil {
-		def := true
-		pr.Defer = &def
-	}
-	if pr.Toggle == "" {
-		pr.Toggle = "reactive"
-	}
-	if pr.DropAlpha == 0 {
-		pr.DropAlpha = 1
-	}
-	if pr.Fairness == nil {
-		fair := 0.05
-		pr.Fairness = &fair
-	}
-	if pr.ValueAware && pr.ValueRef == 0 {
-		pr.ValueRef = 1
-	}
+	// Platform and prune defaults (shared with the admission layer, which
+	// registers sessions from the same spec shapes — see platform.go).
+	s.Platform = s.Platform.WithDefaults()
+	s.Prune = s.Prune.WithDefaults()
 
 	// Run defaults.
 	r := &s.Run
@@ -633,24 +602,7 @@ func (s Scenario) mode() (sim.Mode, error) {
 // coreConfig materializes the pruning configuration for the given number of
 // task types. The scenario must already be normalized.
 func (s Scenario) coreConfig(numTaskTypes int) (core.Config, error) {
-	mode, err := s.Prune.toggleMode()
-	if err != nil {
-		return core.Config{}, err
-	}
-	if !s.Prune.Enabled {
-		return core.Disabled(numTaskTypes), nil
-	}
-	return core.Config{
-		Enabled:        true,
-		Threshold:      *s.Prune.Threshold,
-		DeferEnabled:   *s.Prune.Defer,
-		DropMode:       mode,
-		DropAlpha:      s.Prune.DropAlpha,
-		FairnessFactor: *s.Prune.Fairness,
-		ValueAware:     s.Prune.ValueAware,
-		ValueRef:       s.Prune.ValueRef,
-		NumTaskTypes:   numTaskTypes,
-	}, nil
+	return s.Prune.CoreConfig(numTaskTypes)
 }
 
 // workloadConfig materializes the workload generator configuration for one

@@ -1,0 +1,59 @@
+package service_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+
+	"prunesim/internal/service"
+)
+
+// endpointRow matches the API.md endpoint-table rows:
+//
+//	| `POST` | `/v1/jobs` | submit a scenario ... |
+var endpointRow = regexp.MustCompile("^\\|\\s*`(GET|POST|PUT|DELETE|PATCH)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+
+// TestAPIDocMatchesRoutes cross-checks the endpoint table in API.md
+// against the server's registered routes, both directions: every
+// registered route must be documented, and every documented route must
+// exist. Adding an endpoint without documenting it — or documenting one
+// that was removed — fails here.
+func TestAPIDocMatchesRoutes(t *testing.T) {
+	doc, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("API.md must exist at the repo root: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(doc), -1) {
+		if m := endpointRow.FindStringSubmatch(line); m != nil {
+			key := m[1] + " " + m[2]
+			if documented[key] {
+				t.Errorf("API.md documents %s twice", key)
+			}
+			documented[key] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no endpoint-table rows found in API.md; table format changed?")
+	}
+
+	srv := service.New(service.Config{Workers: -1})
+	defer srv.Close()
+	registered := map[string]bool{}
+	for _, r := range srv.Routes() {
+		key := fmt.Sprintf("%s %s", r.Method, r.Pattern)
+		registered[key] = true
+		if !documented[key] {
+			t.Errorf("route %s is registered but missing from API.md's endpoint table", key)
+		}
+		if r.Summary == "" {
+			t.Errorf("route %s has no summary", key)
+		}
+	}
+	for key := range documented {
+		if !registered[key] {
+			t.Errorf("API.md documents %s but the server does not register it", key)
+		}
+	}
+}

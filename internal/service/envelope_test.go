@@ -1,0 +1,118 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"prunesim/internal/service"
+)
+
+// TestErrorEnvelopeContract exercises the failure path of every /v1
+// endpoint and asserts the one unified envelope:
+//
+//	{"error": {"code": "...", "message": "...", ...}}
+//
+// with a stable machine-readable code. Any endpoint that grows a new error
+// path must speak this envelope or fail here.
+func TestErrorEnvelopeContract(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{Workers: -1})
+	live := createSession(t, ts, "")
+	// A closed session distinguishes 410 session_expired from 404.
+	gone := createSession(t, ts, "")
+	if code, raw := doJSON(t, ts, "DELETE", "/v1/sessions/"+gone, "", nil); code != http.StatusOK {
+		t.Fatalf("closing session: %d %s", code, raw)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"jobs malformed JSON", "POST", "/v1/jobs", `{`, 400, "invalid_request"},
+		{"jobs unknown name", "POST", "/v1/jobs", `{"name": "nope"}`, 404, "not_found"},
+		{"jobs invalid scenario", "POST", "/v1/jobs",
+			`{"scenario": {"workload": {"tasks": -5}, "platform": {}, "prune": {}, "run": {}}}`, 400, "invalid_scenario"},
+		{"job status unknown", "GET", "/v1/jobs/zzz", "", 404, "not_found"},
+		{"job events unknown", "GET", "/v1/jobs/zzz/events", "", 404, "not_found"},
+		{"job timeline unknown", "GET", "/v1/jobs/zzz/timeline", "", 404, "not_found"},
+		{"job csv unknown", "GET", "/v1/jobs/zzz/trials.csv", "", 404, "not_found"},
+		{"session malformed JSON", "POST", "/v1/sessions", `{`, 400, "invalid_request"},
+		{"session bad heuristic", "POST", "/v1/sessions",
+			`{"platform": {"heuristic": "NOPE"}, "prune": {}}`, 400, "invalid_session"},
+		{"session batch heuristic", "POST", "/v1/sessions",
+			`{"platform": {"heuristic": "MM"}, "prune": {}}`, 400, "invalid_session"},
+		{"session get unknown", "GET", "/v1/sessions/zzz", "", 404, "not_found"},
+		{"session get expired", "GET", "/v1/sessions/" + gone, "", 410, "session_expired"},
+		{"session delete unknown", "DELETE", "/v1/sessions/zzz", "", 404, "not_found"},
+		{"decide unknown session", "POST", "/v1/sessions/zzz/decide",
+			`{"type": 0, "deadline": 5}`, 404, "not_found"},
+		{"decide expired session", "POST", "/v1/sessions/" + gone + "/decide",
+			`{"type": 0, "deadline": 5}`, 410, "session_expired"},
+		{"decide malformed JSON", "POST", "/v1/sessions/" + live + "/decide", `{`, 400, "invalid_request"},
+		{"decide unknown field", "POST", "/v1/sessions/" + live + "/decide",
+			`{"type": 0, "deadline": 5, "bogus": 1}`, 400, "invalid_request"},
+		{"decide bad task type", "POST", "/v1/sessions/" + live + "/decide",
+			`{"type": 999, "deadline": 5}`, 400, "invalid_request"},
+		{"decide non-finite now", "POST", "/v1/sessions/" + live + "/decide",
+			`{"type": 0, "deadline": 5, "now": 1e999}`, 400, "invalid_request"},
+		{"batch empty", "POST", "/v1/sessions/" + live + "/decide/batch", `{"tasks": []}`, 400, "invalid_request"},
+		{"batch unknown session", "POST", "/v1/sessions/zzz/decide/batch",
+			`{"tasks": [{"type": 0, "deadline": 5}]}`, 404, "not_found"},
+		{"complete unknown task", "POST", "/v1/sessions/" + live + "/complete",
+			`{"task_id": 424242}`, 404, "invalid_task"},
+		{"complete unknown session", "POST", "/v1/sessions/zzz/complete",
+			`{"task_id": 0}`, 404, "not_found"},
+		{"machine index not a number", "POST", "/v1/sessions/" + live + "/machines/abc/fail", "", 400, "invalid_request"},
+		{"machine index out of range", "POST", "/v1/sessions/" + live + "/machines/99/fail", "", 404, "invalid_request"},
+		{"rejoin out of range", "POST", "/v1/sessions/" + live + "/machines/99/rejoin", "", 404, "invalid_request"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, raw := doJSON(t, ts, c.method, c.path, c.body, nil)
+			if code != c.wantStatus {
+				t.Fatalf("status %d, want %d: %s", code, c.wantStatus, raw)
+			}
+			var env struct {
+				Error *struct {
+					Code      string `json:"code"`
+					Message   string `json:"message"`
+					JobID     string `json:"job_id"`
+					SessionID string `json:"session_id"`
+					TaskID    *int   `json:"task_id"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(raw), &env); err != nil || env.Error == nil {
+				t.Fatalf("not an error envelope: %s (err %v)", raw, err)
+			}
+			if env.Error.Code != c.wantCode {
+				t.Fatalf("code %q, want %q: %s", env.Error.Code, c.wantCode, raw)
+			}
+			if env.Error.Message == "" {
+				t.Fatalf("empty message: %s", raw)
+			}
+		})
+	}
+
+	// The envelope carries identifiers when it has them: an unknown-task
+	// completion names both the session and the task.
+	code, raw := doJSON(t, ts, "POST", "/v1/sessions/"+live+"/complete", `{"task_id": 7}`, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown task: %d %s", code, raw)
+	}
+	var env struct {
+		Error struct {
+			SessionID string `json:"session_id"`
+			TaskID    *int   `json:"task_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(raw), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.SessionID != live || env.Error.TaskID == nil || *env.Error.TaskID != 7 {
+		t.Fatalf("identifiers missing from envelope: %s", raw)
+	}
+}

@@ -37,13 +37,32 @@ type Metrics struct {
 	// TrialsDone counts finished simulation trials across all jobs.
 	TrialsDone atomic.Int64
 
+	// SessionsCreated and SessionsExpired count admission-control sessions
+	// registered and reaped by the idle TTL.
+	SessionsCreated atomic.Int64
+	SessionsExpired atomic.Int64
+	// Decisions counts admission verdicts served, split by outcome in the
+	// three counters below.
+	Decisions         atomic.Int64
+	DecisionsAccepted atomic.Int64
+	DecisionsDeferred atomic.Int64
+	DecisionsDropped  atomic.Int64
+	// Completions counts reported task completions; StaleCompletions the
+	// subset that no longer matched live state (evicted task or failed
+	// machine).
+	Completions      atomic.Int64
+	StaleCompletions atomic.Int64
+
 	// QueueWait observes how long each job sat queued before a worker
 	// picked it up; RunDuration observes each job's engine run time
 	// (terminal jobs, failed included); TrialDuration observes every
-	// finished trial's wall time. All in seconds.
+	// finished trial's wall time. DecideLatency observes the in-process
+	// service time of admission decide calls (single and batch) on its own
+	// microsecond-scale buckets. All in seconds.
 	QueueWait     *LatencyHistogram
 	RunDuration   *LatencyHistogram
 	TrialDuration *LatencyHistogram
+	DecideLatency *LatencyHistogram
 }
 
 // latencyBuckets are the shared histogram upper bounds in seconds:
@@ -54,6 +73,15 @@ var latencyBuckets = []float64{
 	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
+// decideBuckets cover the admission decide path, which is microseconds on
+// the incremental-PCT anchor-hit path and tens of microseconds on a full
+// reconvolve — the job-scale latencyBuckets would collapse it all into the
+// first bucket.
+var decideBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
 // newMetrics returns a Metrics anchored at the current time (the basis of
 // the trials/sec gauge).
 func newMetrics() *Metrics {
@@ -62,6 +90,7 @@ func newMetrics() *Metrics {
 		QueueWait:     newLatencyHistogram("job_queue_wait_seconds", "Time jobs spent queued before a worker started them."),
 		RunDuration:   newLatencyHistogram("job_run_seconds", "Engine run time of jobs that reached a terminal state."),
 		TrialDuration: newLatencyHistogram("trial_seconds", "Wall-clock duration of individual simulation trials."),
+		DecideLatency: newLatencyHistogramBounds("admission_decide_seconds", "In-process service time of admission decide calls.", decideBuckets),
 	}
 }
 
@@ -78,11 +107,17 @@ type LatencyHistogram struct {
 
 // newLatencyHistogram builds a histogram over the shared bucket layout.
 func newLatencyHistogram(name, help string) *LatencyHistogram {
+	return newLatencyHistogramBounds(name, help, latencyBuckets)
+}
+
+// newLatencyHistogramBounds builds a histogram over explicit upper bounds
+// (ascending, in seconds).
+func newLatencyHistogramBounds(name, help string, bounds []float64) *LatencyHistogram {
 	return &LatencyHistogram{
 		name:   name,
 		help:   help,
-		bounds: latencyBuckets,
-		counts: make([]atomic.Int64, len(latencyBuckets)+1),
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
 	}
 }
 
@@ -147,9 +182,9 @@ func (m *Metrics) TrialsPerSec() float64 {
 }
 
 // WritePrometheus renders the counters in Prometheus text exposition
-// format. queueDepth is sampled by the caller (it lives in the queue
-// channel, not here).
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth int) {
+// format. queueDepth and sessionsActive are sampled by the caller (they
+// live in the queue channel and the session registry, not here).
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, sessionsActive int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP prunesimd_%s %s\n# TYPE prunesimd_%s counter\nprunesimd_%s %d\n",
 			name, help, name, name, v)
@@ -165,6 +200,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth int) {
 	counter("cache_hits_total", "Submissions answered from the result store.", m.CacheHits.Load())
 	counter("engine_runs_total", "Scenario engine executions (cache misses actually simulated).", m.EngineRuns.Load())
 	counter("trials_done_total", "Finished simulation trials across all jobs.", m.TrialsDone.Load())
+	counter("sessions_created_total", "Admission sessions registered.", m.SessionsCreated.Load())
+	counter("sessions_expired_total", "Admission sessions reaped by the idle TTL.", m.SessionsExpired.Load())
+	counter("decisions_total", "Admission verdicts served.", m.Decisions.Load())
+	counter("decisions_accepted_total", "Admission verdicts that accepted the task.", m.DecisionsAccepted.Load())
+	counter("decisions_deferred_total", "Admission verdicts that deferred the task.", m.DecisionsDeferred.Load())
+	counter("decisions_dropped_total", "Admission verdicts that dropped the task.", m.DecisionsDropped.Load())
+	counter("completions_total", "Task completions reported to admission sessions.", m.Completions.Load())
+	counter("stale_completions_total", "Reported completions that no longer matched live state.", m.StaleCompletions.Load())
+	gauge("sessions_active", "Live admission sessions.", fmt.Sprintf("%d", sessionsActive))
 	gauge("jobs_queued", "Jobs waiting in the queue.", fmt.Sprintf("%d", m.JobsQueued.Load()))
 	gauge("jobs_running", "Jobs currently executing on workers.", fmt.Sprintf("%d", m.JobsRunning.Load()))
 	gauge("queue_depth", "Occupied slots of the bounded job queue.", fmt.Sprintf("%d", queueDepth))
@@ -173,6 +217,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth int) {
 	m.QueueWait.writePrometheus(w)
 	m.RunDuration.writePrometheus(w)
 	m.TrialDuration.writePrometheus(w)
+	m.DecideLatency.writePrometheus(w)
 }
 
 // snapshotMap renders the counters as one map (the expvar JSON payload).
@@ -188,6 +233,15 @@ func (m *Metrics) snapshotMap() map[string]any {
 		"engine_runs":    m.EngineRuns.Load(),
 		"trials_done":    m.TrialsDone.Load(),
 		"trials_per_sec": m.TrialsPerSec(),
+
+		"sessions_created":   m.SessionsCreated.Load(),
+		"sessions_expired":   m.SessionsExpired.Load(),
+		"decisions":          m.Decisions.Load(),
+		"decisions_accepted": m.DecisionsAccepted.Load(),
+		"decisions_deferred": m.DecisionsDeferred.Load(),
+		"decisions_dropped":  m.DecisionsDropped.Load(),
+		"completions":        m.Completions.Load(),
+		"stale_completions":  m.StaleCompletions.Load(),
 	}
 }
 

@@ -6,7 +6,7 @@
 // an identical scenario+seed returns the stored outcome without
 // re-simulating.
 //
-// API surface:
+// The v1 surface has two halves. The batch half runs whole scenarios:
 //
 //	POST /v1/jobs                 submit a scenario (inline JSON or library name)
 //	GET  /v1/jobs                 list jobs
@@ -16,8 +16,25 @@
 //	                              robustness-so-far, duration quantiles)
 //	GET  /v1/jobs/{id}/trials.csv per-trial result rows (CSV artifact)
 //	GET  /v1/scenarios            the embedded scenario library, runnable by name
-//	GET  /healthz                 liveness + queue/worker snapshot
-//	GET  /metrics                 Prometheus text counters
+//
+// The online half streams real task arrivals through the pruner
+// (internal/admission): register a platform as a session, then ask for an
+// accept/defer/drop verdict per arrival and report completions back:
+//
+//	POST   /v1/sessions                        register an admission session
+//	GET    /v1/sessions                        list live sessions
+//	GET    /v1/sessions/{id}                   session snapshot (machines, counters)
+//	DELETE /v1/sessions/{id}                   close a session
+//	POST   /v1/sessions/{id}/decide            verdict for one arriving task
+//	POST   /v1/sessions/{id}/decide/batch      verdicts for a batch of arrivals
+//	POST   /v1/sessions/{id}/complete          report a finished task
+//	POST   /v1/sessions/{id}/machines/{machine}/fail    take a machine down
+//	POST   /v1/sessions/{id}/machines/{machine}/rejoin  bring it back
+//
+// Plus GET /healthz and GET /metrics. Every endpoint answers failures with
+// the uniform envelope {"error": {"code", "message", ...}} (see errors.go;
+// the full surface is documented in API.md, which api_doc_test.go keeps in
+// lockstep with Routes()).
 //
 // Job lifecycle: queued → running → done | failed; cache hits are born
 // done. See DESIGN.md ("The serving layer") for the architecture.
@@ -33,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prunesim/internal/admission"
 	"prunesim/internal/scenario"
 	"prunesim/internal/timeline"
 	"prunesim/internal/trace"
@@ -65,6 +83,12 @@ type Config struct {
 	// say for this long, so proxies and LBs do not reap streams during
 	// long trials. Default 15s; negative disables.
 	HeartbeatInterval time.Duration
+	// SessionTTL is how long an admission session may sit idle before it is
+	// expired (default admission.DefaultTTL; negative disables expiry).
+	SessionTTL time.Duration
+	// MaxSessions caps live admission sessions (default
+	// admission.DefaultMaxSessions).
+	MaxSessions int
 }
 
 // engineRunner is the seam between the worker pool and the sweep engine;
@@ -85,6 +109,7 @@ type Server struct {
 	libSeq   []scenario.Scenario
 	libInfos []scenarioInfo // precomputed: hashing the library per GET is waste
 	queue    chan *Job
+	sessions *admission.Registry
 	start    time.Time
 	// done closes when Close begins, unblocking long-lived handlers (SSE
 	// streams) so a graceful HTTP shutdown is not held hostage by them.
@@ -138,6 +163,11 @@ func New(cfg Config) *Server {
 		timelineInterval: cfg.TimelineInterval,
 		heartbeat:        cfg.HeartbeatInterval,
 	}
+	s.sessions = admission.NewRegistry(admission.RegistryConfig{
+		TTL:         cfg.SessionTTL,
+		MaxSessions: cfg.MaxSessions,
+		OnExpired:   func(n int) { s.metrics.SessionsExpired.Add(int64(n)) },
+	})
 	// Later entries override earlier ones by name (operator -scenarios
 	// files shadow embedded library scenarios), and the listing is deduped
 	// to match what is actually runnable.
@@ -197,20 +227,65 @@ func (s *Server) Close() {
 	close(s.done) // unblock SSE streams before (not after) draining workers
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.sessions.Close()
+}
+
+// RouteInfo describes one registered endpoint. Routes() is the single
+// source of truth for the v1 surface: Handler builds the mux from it and
+// api_doc_test.go cross-checks API.md against it, so a route cannot be
+// added without documenting it (or documented without existing).
+type RouteInfo struct {
+	Method  string `json:"method"`
+	Pattern string `json:"pattern"`
+	Summary string `json:"summary"`
+}
+
+// route pairs a RouteInfo with its handler.
+type route struct {
+	RouteInfo
+	handler http.HandlerFunc
+}
+
+// routes is the full endpoint table.
+func (s *Server) routes() []route {
+	return []route{
+		{RouteInfo{"POST", "/v1/jobs", "submit a scenario (inline JSON or library name)"}, s.handleSubmit},
+		{RouteInfo{"GET", "/v1/jobs", "list jobs"}, s.handleListJobs},
+		{RouteInfo{"GET", "/v1/jobs/{id}", "job status, outcome when done"}, s.handleJob},
+		{RouteInfo{"GET", "/v1/jobs/{id}/events", "SSE stream of per-trial progress"}, s.handleEvents},
+		{RouteInfo{"GET", "/v1/jobs/{id}/timeline", "streaming in-flight aggregate"}, s.handleTimeline},
+		{RouteInfo{"GET", "/v1/jobs/{id}/trials.csv", "per-trial result rows (CSV)"}, s.handleTrialsCSV},
+		{RouteInfo{"GET", "/v1/scenarios", "the scenario library, runnable by name"}, s.handleScenarios},
+		{RouteInfo{"POST", "/v1/sessions", "register an admission-control session"}, s.handleSessionCreate},
+		{RouteInfo{"GET", "/v1/sessions", "list live admission sessions"}, s.handleSessionList},
+		{RouteInfo{"GET", "/v1/sessions/{id}", "session snapshot (machines, counters)"}, s.handleSessionGet},
+		{RouteInfo{"DELETE", "/v1/sessions/{id}", "close an admission session"}, s.handleSessionDelete},
+		{RouteInfo{"POST", "/v1/sessions/{id}/decide", "admission verdict for one arriving task"}, s.handleSessionDecide},
+		{RouteInfo{"POST", "/v1/sessions/{id}/decide/batch", "admission verdicts for a batch of arrivals"}, s.handleSessionDecideBatch},
+		{RouteInfo{"POST", "/v1/sessions/{id}/complete", "report a finished task"}, s.handleSessionComplete},
+		{RouteInfo{"POST", "/v1/sessions/{id}/machines/{machine}/fail", "take a session machine down"}, s.handleSessionMachineFail},
+		{RouteInfo{"POST", "/v1/sessions/{id}/machines/{machine}/rejoin", "bring a failed machine back"}, s.handleSessionMachineRejoin},
+		{RouteInfo{"GET", "/healthz", "liveness, queue and session snapshot"}, s.handleHealthz},
+		{RouteInfo{"GET", "/metrics", "Prometheus text counters"}, s.handleMetrics},
+	}
+}
+
+// Routes lists every registered endpoint.
+func (s *Server) Routes() []RouteInfo {
+	rs := s.routes()
+	infos := make([]RouteInfo, len(rs))
+	for i, r := range rs {
+		infos[i] = r.RouteInfo
+	}
+	return infos
 }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
-	mux.HandleFunc("GET /v1/jobs/{id}/trials.csv", s.handleTrialsCSV)
-	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.Method+" "+r.Pattern, r.handler)
+	}
 	return mux
 }
 
@@ -220,13 +295,6 @@ func (s *Server) Handler() http.Handler {
 type SubmitRequest struct {
 	Name     string          `json:"name,omitempty"`
 	Scenario json.RawMessage `json:"scenario,omitempty"`
-}
-
-// apiError is the uniform JSON error body.
-func apiError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -245,40 +313,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		apiError(w, http.StatusBadRequest, "decoding request: %v", err)
+		apiError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
 	var sc scenario.Scenario
 	switch {
 	case req.Name != "" && req.Scenario != nil:
-		apiError(w, http.StatusBadRequest, "give either name or scenario, not both")
+		apiError(w, http.StatusBadRequest, CodeInvalidRequest, "give either name or scenario, not both")
 		return
 	case req.Name != "":
 		lib, ok := s.library[req.Name]
 		if !ok {
-			apiError(w, http.StatusNotFound, "unknown scenario %q (see GET /v1/scenarios)", req.Name)
+			apiError(w, http.StatusNotFound, CodeNotFound, "unknown scenario %q (see GET /v1/scenarios)", req.Name)
 			return
 		}
 		sc = lib
 	case req.Scenario != nil:
 		parsed, err := scenario.Parse(req.Scenario)
 		if err != nil {
-			apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+			apiError(w, http.StatusBadRequest, CodeInvalidScenario, "invalid scenario: %v", err)
 			return
 		}
 		sc = parsed
 	default:
-		apiError(w, http.StatusBadRequest, "give a scenario or a library name")
+		apiError(w, http.StatusBadRequest, CodeInvalidRequest, "give a scenario or a library name")
 		return
 	}
 	norm, err := sc.Normalize()
 	if err != nil {
-		apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		apiError(w, http.StatusBadRequest, CodeInvalidScenario, "invalid scenario: %v", err)
 		return
 	}
 	hash, err := norm.Hash()
 	if err != nil {
-		apiError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		apiError(w, http.StatusBadRequest, CodeInvalidScenario, "invalid scenario: %v", err)
 		return
 	}
 
@@ -290,9 +358,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, job.status())
 	case submitFull:
 		w.Header().Set("Retry-After", "1")
-		apiError(w, http.StatusTooManyRequests, "job queue full (%d slots); retry later", cap(s.queue))
+		apiError(w, http.StatusTooManyRequests, CodeQueueFull, "job queue full (%d slots); retry later", cap(s.queue))
 	case submitClosed:
-		apiError(w, http.StatusServiceUnavailable, "server shutting down")
+		apiError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server shutting down")
 	}
 }
 
@@ -359,7 +427,7 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 	job, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		apiError(w, http.StatusNotFound, "no job %q", id)
+		jobError(w, http.StatusNotFound, CodeNotFound, id, "no job %q", id)
 		return nil, false
 	}
 	return job, true
@@ -395,7 +463,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
-		apiError(w, http.StatusInternalServerError, "response writer cannot stream")
+		apiError(w, http.StatusInternalServerError, CodeStreamUnsupported, "response writer cannot stream")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -491,7 +559,7 @@ func (s *Server) handleTrialsCSV(w http.ResponseWriter, r *http.Request) {
 	}
 	st := job.status()
 	if st.State != StateDone {
-		apiError(w, http.StatusConflict, "job %s is %s; trials.csv is available once it is done", st.ID, st.State)
+		jobError(w, http.StatusConflict, CodeNotReady, st.ID, "job %s is %s; trials.csv is available once it is done", st.ID, st.State)
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
@@ -525,12 +593,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":    len(s.queue),
 		"queue_capacity": cap(s.queue),
 		"cached_results": s.store.Len(),
+		"sessions":       s.sessions.Len(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, len(s.queue))
+	s.metrics.WritePrometheus(w, len(s.queue), s.sessions.Len())
 }
 
 // ErrClosed reports submission to a closed server (embedding API).

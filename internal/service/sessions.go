@@ -1,0 +1,368 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prunesim/internal/admission"
+	"prunesim/internal/scenario"
+)
+
+// This file is the HTTP half of the online admission-control surface: it
+// lowers /v1/sessions requests onto internal/admission and maps its typed
+// errors onto the error envelope. Request clocks are optional — a client
+// that omits "now" gets wall-clock seconds since the session was created,
+// so real traffic can stream without the caller keeping time.
+
+// SessionRequest is the POST /v1/sessions body. Platform and Prune are the
+// same schema halves a scenario document uses; admission defaults the
+// heuristic to MCT (immediate-mode) rather than the batch-mode scenario
+// default, and only immediate-mode heuristics are accepted.
+type SessionRequest struct {
+	Platform scenario.Platform `json:"platform"`
+	Prune    scenario.Prune    `json:"prune"`
+}
+
+// sessionCreated is the POST /v1/sessions response.
+type sessionCreated struct {
+	SessionID string    `json:"session_id"`
+	Machines  int       `json:"machines"`
+	TaskTypes int       `json:"task_types"`
+	Heuristic string    `json:"heuristic"`
+	Created   time.Time `json:"created"`
+}
+
+// decideRequest is the POST /v1/sessions/{id}/decide body. Now is optional
+// (see above).
+type decideRequest struct {
+	admission.TaskSpec
+	Now *float64 `json:"now,omitempty"`
+}
+
+// decideBatchRequest is the POST /v1/sessions/{id}/decide/batch body. The
+// whole batch shares one clock reading and one mapping-event sweep.
+type decideBatchRequest struct {
+	Tasks []admission.TaskSpec `json:"tasks"`
+	Now   *float64             `json:"now,omitempty"`
+}
+
+// completeRequest is the POST /v1/sessions/{id}/complete body.
+type completeRequest struct {
+	TaskID int      `json:"task_id"`
+	Now    *float64 `json:"now,omitempty"`
+}
+
+// decideResponse wraps a Decision with its session.
+type decideResponse struct {
+	SessionID string `json:"session_id"`
+	admission.Decision
+}
+
+// sessionEscape maps internal/admission registry errors onto envelope
+// responses; reports whether err was handled.
+func sessionEscape(w http.ResponseWriter, id string, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, admission.ErrSessionNotFound):
+		sessionError(w, http.StatusNotFound, CodeNotFound, id, "no session %q", id)
+	case errors.Is(err, admission.ErrSessionExpired):
+		sessionError(w, http.StatusGone, CodeSessionExpired, id, "session %q expired or was closed", id)
+	default:
+		return false
+	}
+	return true
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		apiError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// sessionNow resolves a request's optional clock: explicit when given,
+// wall-clock seconds since session creation otherwise.
+func sessionNow(h *admission.Handle, now *float64) float64 {
+	if now != nil {
+		return *now
+	}
+	return time.Since(h.Created).Seconds()
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	p := req.Platform
+	if p.Heuristic == "" {
+		p.Heuristic = "MCT"
+	}
+	p = p.WithDefaults()
+	matrix, err := p.BuildMatrix()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, CodeInvalidSession, "invalid platform: %v", err)
+		return
+	}
+	prune, err := req.Prune.WithDefaults().CoreConfig(matrix.NumTaskTypes())
+	if err != nil {
+		apiError(w, http.StatusBadRequest, CodeInvalidSession, "invalid prune spec: %v", err)
+		return
+	}
+	h, err := s.sessions.Create(admission.Config{
+		Matrix:       matrix,
+		MachineTypes: p.MachineTypes(matrix),
+		Heuristic:    p.Heuristic,
+		Slots:        p.Slots,
+		Prune:        prune,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, admission.ErrTooManySessions) {
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
+		apiError(w, status, CodeInvalidSession, "%v", err)
+		return
+	}
+	s.metrics.SessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sessionCreated{
+		SessionID: h.ID,
+		Machines:  p.Machines,
+		TaskTypes: matrix.NumTaskTypes(),
+		Heuristic: p.Heuristic,
+		Created:   h.Created,
+	})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.sessions.List()})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var snap admission.Snapshot
+	err := s.sessions.With(id, func(sess *admission.Session) error {
+		snap = sess.Snapshot()
+		return nil
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		SessionID string `json:"session_id"`
+		admission.Snapshot
+	}{id, snap})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sessions.Delete(id); sessionEscape(w, id, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session_id": id, "state": "closed"})
+}
+
+// recordDecision feeds one verdict into the service metrics.
+func (s *Server) recordDecision(d admission.Decision) {
+	s.metrics.Decisions.Add(1)
+	switch d.Verdict {
+	case admission.VerdictAccept:
+		s.metrics.DecisionsAccepted.Add(1)
+	case admission.VerdictDefer:
+		s.metrics.DecisionsDeferred.Add(1)
+	case admission.VerdictDrop:
+		s.metrics.DecisionsDropped.Add(1)
+	}
+}
+
+func (s *Server) handleSessionDecide(w http.ResponseWriter, r *http.Request) {
+	var req decideRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	var d admission.Decision
+	start := time.Now()
+	err := s.sessions.WithHandle(id, func(h *admission.Handle, sess *admission.Session) error {
+		var derr error
+		d, derr = sess.Decide(req.TaskSpec, sessionNow(h, req.Now))
+		if derr != nil {
+			return derr
+		}
+		// The Evicted slice is session-owned; copy it out before the lock
+		// is released.
+		d.Evicted = append([]admission.Eviction(nil), d.Evicted...)
+		return nil
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	if err != nil {
+		sessionError(w, http.StatusBadRequest, CodeInvalidRequest, id, "%v", err)
+		return
+	}
+	s.metrics.DecideLatency.Observe(time.Since(start).Seconds())
+	s.recordDecision(d)
+	writeJSON(w, http.StatusOK, decideResponse{SessionID: id, Decision: d})
+}
+
+func (s *Server) handleSessionDecideBatch(w http.ResponseWriter, r *http.Request) {
+	var req decideBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Tasks) == 0 {
+		apiError(w, http.StatusBadRequest, CodeInvalidRequest, "tasks must be non-empty")
+		return
+	}
+	id := r.PathValue("id")
+	var ds []admission.Decision
+	start := time.Now()
+	err := s.sessions.WithHandle(id, func(h *admission.Handle, sess *admission.Session) error {
+		var derr error
+		ds, derr = sess.DecideBatch(req.Tasks, sessionNow(h, req.Now))
+		if derr != nil {
+			return derr
+		}
+		for i := range ds {
+			ds[i].Evicted = append([]admission.Eviction(nil), ds[i].Evicted...)
+		}
+		return nil
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	if err != nil {
+		sessionError(w, http.StatusBadRequest, CodeInvalidRequest, id, "%v", err)
+		return
+	}
+	s.metrics.DecideLatency.Observe(time.Since(start).Seconds())
+	for _, d := range ds {
+		s.recordDecision(d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": id, "decisions": ds})
+}
+
+func (s *Server) handleSessionComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	var c admission.Completion
+	err := s.sessions.WithHandle(id, func(h *admission.Handle, sess *admission.Session) error {
+		var cerr error
+		c, cerr = sess.Complete(req.TaskID, sessionNow(h, req.Now))
+		if cerr != nil {
+			return cerr
+		}
+		c.Started = append([]int(nil), c.Started...)
+		c.Evicted = append([]admission.Eviction(nil), c.Evicted...)
+		return nil
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	if err != nil {
+		if errors.Is(err, admission.ErrUnknownTask) {
+			tid := req.TaskID
+			writeError(w, http.StatusNotFound, ErrorBody{
+				Code: CodeInvalidTask, Message: err.Error(), SessionID: id, TaskID: &tid,
+			})
+			return
+		}
+		sessionError(w, http.StatusBadRequest, CodeInvalidRequest, id, "%v", err)
+		return
+	}
+	s.metrics.Completions.Add(1)
+	if c.Stale {
+		s.metrics.StaleCompletions.Add(1)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		SessionID string `json:"session_id"`
+		admission.Completion
+	}{id, c})
+}
+
+// sessionMachine parses the {machine} path value.
+func sessionMachine(w http.ResponseWriter, r *http.Request, id string) (int, bool) {
+	j, err := strconv.Atoi(r.PathValue("machine"))
+	if err != nil {
+		sessionError(w, http.StatusBadRequest, CodeInvalidRequest, id, "machine must be an integer index: %v", err)
+		return 0, false
+	}
+	return j, true
+}
+
+// machineEventRequest is the body of fail/rejoin (optional, for "now").
+type machineEventRequest struct {
+	Now *float64 `json:"now,omitempty"`
+}
+
+func (s *Server) handleSessionMachineFail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := sessionMachine(w, r, id)
+	if !ok {
+		return
+	}
+	var req machineEventRequest
+	if r.ContentLength != 0 && !decodeBody(w, r, &req) {
+		return
+	}
+	var orphans []admission.Eviction
+	err := s.sessions.WithHandle(id, func(h *admission.Handle, sess *admission.Session) error {
+		evs, ferr := sess.FailMachine(j, sessionNow(h, req.Now))
+		if ferr != nil {
+			return ferr
+		}
+		orphans = append([]admission.Eviction(nil), evs...)
+		return nil
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, admission.ErrUnknownMachine) {
+			status = http.StatusNotFound
+		}
+		sessionError(w, status, CodeInvalidRequest, id, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": id, "machine": j, "state": "down", "orphaned": orphans})
+}
+
+func (s *Server) handleSessionMachineRejoin(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := sessionMachine(w, r, id)
+	if !ok {
+		return
+	}
+	err := s.sessions.With(id, func(sess *admission.Session) error {
+		return sess.RejoinMachine(j)
+	})
+	if sessionEscape(w, id, err) {
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, admission.ErrUnknownMachine) {
+			status = http.StatusNotFound
+		}
+		sessionError(w, status, CodeInvalidRequest, id, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": id, "machine": j, "state": "up"})
+}
+
+// Sessions exposes the admission registry (embedders and tests).
+func (s *Server) Sessions() *admission.Registry { return s.sessions }

@@ -4,8 +4,16 @@
 // Serverless Computing Systems Via Probabilistic Task Pruning" (IPDPS
 // Workshops 2019).
 //
-// The package is a facade over the implementation packages. A minimal
-// session:
+// The package is a facade over the implementation packages, organised as
+// three construction → run → results clients:
+//
+//   - Platform (platform.go): simulate one workload on one configuration.
+//   - Study (study.go): run a declarative Scenario — trials, sweeps,
+//     progress callbacks, optional wall-clock pacing.
+//   - AdmissionSession (admission.go): stream real task arrivals through
+//     the pruner for online accept/defer/drop verdicts.
+//
+// A minimal Platform session:
 //
 //	matrix := prunesim.StandardPET()
 //	platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
@@ -32,10 +40,7 @@
 package prunesim
 
 import (
-	"fmt"
-
 	"prunesim/internal/calibration"
-	"prunesim/internal/clock"
 	"prunesim/internal/core"
 	"prunesim/internal/energy"
 	"prunesim/internal/experiments"
@@ -343,34 +348,6 @@ func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) 
 // NewScenarioEngine returns a scenario engine with the given trial
 // parallelism bound (0 = GOMAXPROCS).
 func NewScenarioEngine(parallelism int) *ScenarioEngine { return scenario.NewEngine(parallelism) }
-
-// RunScenario normalizes and executes one scenario on a fresh engine,
-// running its trials concurrently.
-func RunScenario(s Scenario) (*ScenarioOutcome, error) {
-	return scenario.NewEngine(0).Run(s)
-}
-
-// RunScenarioWithProgress is RunScenario with a live per-trial callback —
-// the hook the prunesimd daemon streams job progress from. Calls are
-// serialized; see scenario.Engine.RunWithProgress for the contract.
-func RunScenarioWithProgress(s Scenario, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
-	return scenario.NewEngine(0).RunWithProgress(s, onTrial)
-}
-
-// RunScenarioPaced executes one scenario against a real wall clock running
-// speedup× faster than simulated time (speedup must be positive; 1 is real
-// time). Trials run sequentially — pacing several trials at once would
-// interleave their sleeps into nonsense. Results are identical to
-// RunScenario; only the wall-clock pacing differs.
-func RunScenarioPaced(s Scenario, speedup float64, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
-	if !(speedup > 0) {
-		return nil, fmt.Errorf("pace: speedup must be positive, got %v", speedup)
-	}
-	eng := scenario.NewEngine(1)
-	eng.NewClock = func() clock.Clock { return clock.NewReal(speedup) }
-	s.Run.Parallelism = 1
-	return eng.RunWithProgress(s, onTrial)
-}
 
 // Calibration (see internal/calibration).
 type (

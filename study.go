@@ -1,0 +1,100 @@
+package prunesim
+
+import (
+	"fmt"
+
+	"prunesim/internal/clock"
+	"prunesim/internal/scenario"
+)
+
+// Study is the client-style way to run a scenario: construct with NewStudy,
+// chain options, then Run. It replaces the RunScenario* free functions
+// (kept below as deprecated wrappers) with one coherent
+// construction → run → results path:
+//
+//	outcome, err := prunesim.NewStudy(sc).
+//		OnTrial(func(p prunesim.ScenarioTrialProgress) { bar.Tick(p) }).
+//		Run()
+//
+// A Study is single-use: configure, Run once, read the outcome.
+type Study struct {
+	scenario Scenario
+	onTrial  func(ScenarioTrialProgress)
+	speedup  float64
+	engine   *ScenarioEngine
+}
+
+// NewStudy starts a study of the given scenario.
+func NewStudy(s Scenario) *Study { return &Study{scenario: s} }
+
+// OnTrial registers a live per-trial callback — the hook the prunesimd
+// daemon streams job progress from. Calls are serialized; see
+// scenario.Engine.RunWithProgress for the contract.
+func (st *Study) OnTrial(fn func(ScenarioTrialProgress)) *Study {
+	st.onTrial = fn
+	return st
+}
+
+// Paced runs the study against a real wall clock running speedup× faster
+// than simulated time (1 is real time). Trials run sequentially — pacing
+// several trials at once would interleave their sleeps into nonsense.
+// Results are identical to an unpaced run; only the wall-clock pacing
+// differs.
+func (st *Study) Paced(speedup float64) *Study {
+	st.speedup = speedup
+	return st
+}
+
+// WithEngine runs the study on an existing engine (shared PET-matrix cache,
+// bounded parallelism) instead of a fresh one. Ignored by paced runs, which
+// need their own single-trial engine.
+func (st *Study) WithEngine(e *ScenarioEngine) *Study {
+	st.engine = e
+	return st
+}
+
+// Run normalizes and executes the scenario, running its trials concurrently
+// (or sequentially against the wall clock if Paced).
+func (st *Study) Run() (*ScenarioOutcome, error) {
+	if st.speedup != 0 {
+		if !(st.speedup > 0) {
+			return nil, fmt.Errorf("pace: speedup must be positive, got %v", st.speedup)
+		}
+		eng := scenario.NewEngine(1)
+		eng.NewClock = func() clock.Clock { return clock.NewReal(st.speedup) }
+		s := st.scenario
+		s.Run.Parallelism = 1
+		return eng.RunWithProgress(s, st.onTrial)
+	}
+	eng := st.engine
+	if eng == nil {
+		eng = scenario.NewEngine(0)
+	}
+	if st.onTrial != nil {
+		return eng.RunWithProgress(st.scenario, st.onTrial)
+	}
+	return eng.Run(st.scenario)
+}
+
+// RunScenario normalizes and executes one scenario on a fresh engine,
+// running its trials concurrently.
+//
+// Deprecated: use NewStudy(s).Run().
+func RunScenario(s Scenario) (*ScenarioOutcome, error) {
+	return NewStudy(s).Run()
+}
+
+// RunScenarioWithProgress is RunScenario with a live per-trial callback.
+//
+// Deprecated: use NewStudy(s).OnTrial(onTrial).Run().
+func RunScenarioWithProgress(s Scenario, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
+	return NewStudy(s).OnTrial(onTrial).Run()
+}
+
+// RunScenarioPaced executes one scenario against a real wall clock running
+// speedup× faster than simulated time.
+//
+// Deprecated: use NewStudy(s).Paced(speedup).OnTrial(onTrial).Run().
+func RunScenarioPaced(s Scenario, speedup float64, onTrial func(ScenarioTrialProgress)) (*ScenarioOutcome, error) {
+	return NewStudy(s).Paced(speedup).OnTrial(onTrial).Run()
+}
