@@ -202,15 +202,14 @@ func runScenario(path string, o overrides) {
 		})
 		progress.update(p, tl)
 	}
-	var outcome *prunesim.ScenarioOutcome
+	study := prunesim.NewStudy(sc).OnTrial(onTrial)
 	if o.pace != 0 {
 		// Paced mode plays the scenario against the wall clock (o.pace
 		// simulated time units per second of ×1 speedup) — live demos of
 		// machine churn rather than batch throughput.
-		outcome, err = prunesim.RunScenarioPaced(sc, o.pace, onTrial)
-	} else {
-		outcome, err = prunesim.RunScenarioWithProgress(sc, onTrial)
+		study = study.Paced(o.pace)
 	}
+	outcome, err := study.Run()
 	progress.finish()
 	if err != nil {
 		fatal(err)

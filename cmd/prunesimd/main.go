@@ -12,6 +12,29 @@
 //	                                   # embedded examples/scenarios library
 //	prunesimd -session-ttl 1h          # keep idle admission sessions longer
 //
+// Persistence: -store=disk makes the result cache survive restarts, one
+// atomically-written JSON file per scenario hash under -data-dir;
+// -store-max-entries bounds it with LRU eviction.
+//
+//	prunesimd -store=disk -data-dir ./cache -store-max-entries 10000
+//
+// Multi-tenancy: -keys loads a JSON keyfile of API keys with per-tenant
+// rate limits and in-flight job caps; the -anon-* flags bound callers that
+// present no key. Limits answer 429 with distinct error codes
+// (rate_limited / inflight_limit) so clients can tell them from the
+// queue's own backpressure (queue_full).
+//
+//	prunesimd -keys keys.json -anon-qps 50 -anon-inflight 4
+//
+// Sharding: workers declare their fleet position with -shard-of (minting
+// globally-routable IDs like "s1-j000007"), and a front door started with
+// -route-to proxies the whole v1 surface across them — submissions by
+// scenario content hash, ID-addressed calls by ID prefix:
+//
+//	prunesimd -addr :8081 -shard-of 0/2 -store=disk -data-dir ./shard0
+//	prunesimd -addr :8082 -shard-of 1/2 -store=disk -data-dir ./shard1
+//	prunesimd -addr :8080 -route-to http://localhost:8081,http://localhost:8082
+//
 // Endpoints (the full surface, request/response schemas and the error
 // envelope are documented in API.md; curl examples in README.md):
 //
@@ -41,15 +64,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	scenarios "prunesim/examples/scenarios"
 	"prunesim/internal/cli"
+	"prunesim/internal/scenario"
 	"prunesim/internal/service"
+	"prunesim/internal/shard"
+	"prunesim/internal/store"
+	"prunesim/internal/tenant"
 )
 
 func main() {
@@ -61,6 +90,18 @@ func main() {
 		extraDir    = flag.String("scenarios", "", "directory of extra scenario *.json files to add to the library")
 		sessionTTL  = flag.Duration("session-ttl", 0, "idle TTL of admission sessions (0 = 15m default, negative = never expire)")
 		maxSessions = flag.Int("max-sessions", 0, "live admission session cap (0 = 256 default)")
+
+		storeKind  = flag.String("store", "memory", "result store backend: memory or disk")
+		dataDir    = flag.String("data-dir", "prunesimd-data", "directory of the disk store (-store=disk)")
+		maxEntries = flag.Int("store-max-entries", 0, "LRU cap on cached results (0 = unbounded)")
+
+		keyfile      = flag.String("keys", "", "JSON keyfile of API keys and per-tenant limits")
+		anonQPS      = flag.Float64("anon-qps", 0, "sustained request rate for callers without an API key (0 = unlimited)")
+		anonBurst    = flag.Float64("anon-burst", 0, "token-bucket depth for anonymous callers (0 = max(1, ceil(anon-qps)))")
+		anonInflight = flag.Int("anon-inflight", 0, "in-flight job cap for anonymous callers (0 = unlimited)")
+
+		shardOf = flag.String("shard-of", "", "this daemon's fleet position i/N (e.g. 0/2); mints routable IDs s<i>-...")
+		routeTo = flag.String("route-to", "", "front-door mode: comma-separated shard base URLs to route to (no local workers)")
 	)
 	flag.Parse()
 
@@ -77,39 +118,142 @@ func main() {
 		library = append(library, extra...)
 	}
 
+	if *routeTo != "" {
+		runFrontDoor(*addr, *routeTo, library)
+		return
+	}
+
+	st, err := buildStore(*storeKind, *dataDir, *maxEntries)
+	if err != nil {
+		fatal(err)
+	}
+	tenants, err := buildTenants(*keyfile, *anonQPS, *anonBurst, *anonInflight)
+	if err != nil {
+		fatal(err)
+	}
+	var shardIdx, shardCnt int
+	var idPrefix string
+	if *shardOf != "" {
+		shardIdx, shardCnt, err = shard.ParseSpec(*shardOf)
+		if err != nil {
+			fatal(err)
+		}
+		idPrefix = shard.Prefix(shardIdx)
+	}
+
 	srv := service.New(service.Config{
 		QueueCapacity: *queue,
 		Workers:       *workers,
 		Parallelism:   *parallelism,
+		Store:         st,
+		Tenants:       tenants,
+		IDPrefix:      idPrefix,
+		ShardIndex:    shardIdx,
+		ShardCount:    shardCnt,
 		Library:       library,
 		SessionTTL:    *sessionTTL,
 		MaxSessions:   *maxSessions,
 	})
+	banner := fmt.Sprintf("%d library scenarios, queue %d, workers %d, store %s",
+		len(library), *queue, *workers, *storeKind)
+	if *shardOf != "" {
+		banner += ", shard " + *shardOf
+	}
+	serve(*addr, srv.Handler(), banner, srv.Close)
+}
+
+// runFrontDoor serves the shard router instead of a local service.
+func runFrontDoor(addr, routeTo string, library []scenario.Scenario) {
+	backends := strings.Split(routeTo, ",")
+	for i := range backends {
+		backends[i] = strings.TrimSpace(backends[i])
+	}
+	rt, err := shard.NewRouter(shard.RouterConfig{Backends: backends, Library: library})
+	if err != nil {
+		fatal(err)
+	}
+	serve(addr, rt.Handler(),
+		fmt.Sprintf("front door over %d shards: %s", len(backends), strings.Join(backends, ", ")),
+		func() {})
+}
+
+// buildStore assembles the result cache from the -store flags.
+func buildStore(kind, dataDir string, maxEntries int) (store.Store, error) {
+	var st store.Store
+	switch kind {
+	case "memory":
+		st = store.NewMemory()
+	case "disk":
+		disk, err := store.OpenDisk(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("disk store %s: %d cached results", dataDir, disk.Len())
+		st = disk
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want memory or disk)", kind)
+	}
+	if maxEntries > 0 {
+		st = store.NewLRU(st, maxEntries)
+	}
+	return st, nil
+}
+
+// buildTenants assembles the tenant registry from the keyfile and the
+// anonymous-limit flags.
+func buildTenants(keyfile string, anonQPS, anonBurst float64, anonInflight int) (*tenant.Registry, error) {
+	var cfg tenant.Config
+	if keyfile != "" {
+		loaded, err := tenant.LoadKeyfile(keyfile)
+		if err != nil {
+			return nil, err
+		}
+		cfg = loaded
+		log.Printf("loaded %d tenant keys from %s", len(cfg.Keys), keyfile)
+	}
+	// Flags override the keyfile's anonymous block only when set.
+	if anonQPS != 0 {
+		cfg.Anonymous.RateQPS = anonQPS
+	}
+	if anonBurst != 0 {
+		cfg.Anonymous.Burst = anonBurst
+	}
+	if anonInflight != 0 {
+		cfg.Anonymous.MaxInFlight = anonInflight
+	}
+	return tenant.NewRegistry(cfg)
+}
+
+// serve listens (logging the bound address, so -addr :0 is usable in
+// scripts), serves until SIGINT/SIGTERM, then drains: closeFn stops
+// intake and flushes what the handler owns before the HTTP shutdown.
+func serve(addr string, handler http.Handler, banner string, closeFn func()) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
-	// in-flight jobs finish.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("prunesimd listening on %s (%d library scenarios, queue %d, workers %d)",
-		*addr, len(library), *queue, *workers)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("prunesimd listening on %s (%s)", ln.Addr(), banner)
 
 	select {
 	case err := <-errCh:
 		fatal(err)
 	case <-ctx.Done():
-		log.Printf("shutting down: draining in-flight jobs")
+		log.Printf("shutting down: draining in-flight work")
 		// Close the service first: it stops intake (new submissions get
-		// 503), releases SSE streams and drains the workers — so the HTTP
-		// shutdown below returns as soon as work is done instead of
-		// waiting out its timeout behind a connected events subscriber.
-		srv.Close()
+		// 503), releases SSE streams, drains the workers and flushes the
+		// store — so the HTTP shutdown below returns as soon as work is
+		// done instead of waiting out its timeout behind a connected
+		// events subscriber.
+		closeFn()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

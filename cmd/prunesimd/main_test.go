@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the prunesimd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "prunesimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building prunesimd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running prunesimd process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string // http://host:port
+	logs *bytes.Buffer
+}
+
+// startDaemon launches the binary on a kernel-assigned port and waits for
+// the logged listen address.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, logs: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The daemon logs "prunesimd listening on 127.0.0.1:PORT (...)" after
+	// binding; scrape the real port from the stream, then keep draining it.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			line := scanner.Text()
+			d.logs.WriteString(line + "\n")
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.addr = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never logged its listen address:\n%s", d.logs.String())
+	}
+	return d
+}
+
+// stop SIGTERMs the daemon and waits for a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM:\n%s", d.logs.String())
+	}
+}
+
+// submitByName POSTs a library scenario and returns the decoded body.
+func submitByName(t *testing.T, addr, name string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(addr+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"name": %q}`, name)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		t.Fatalf("submit %s: status %d: %s", name, resp.StatusCode, raw)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decoding submit response: %v\n%s", err, raw)
+	}
+	return body
+}
+
+// waitState polls a job until it reaches state "done" (failing on
+// "failed").
+func waitState(t *testing.T, addr, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch body["state"] {
+		case "done":
+			return body
+		case "failed":
+			t.Fatalf("job %s failed: %v", id, body["error"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// fetchCSV downloads a job's trials.csv.
+func fetchCSV(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/trials.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trials.csv: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestSigtermDurability is the shutdown-and-restart acceptance e2e: run a
+// scenario on a disk-backed daemon, SIGTERM it while another job is still
+// in flight, and assert (a) the data directory holds no partially-written
+// cache file — every *.json parses, no *.tmp survives — and (b) a
+// restarted daemon answers the finished scenario from the cache with a
+// byte-identical trials.csv.
+func TestSigtermDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	// First life: finish one scenario, leave another in flight, SIGTERM.
+	d1 := startDaemon(t, bin, "-store=disk", "-data-dir", dataDir, "-workers", "2")
+	first := submitByName(t, d1.addr, "service_smoke")
+	waitState(t, d1.addr, first["id"].(string))
+	csvBefore := fetchCSV(t, d1.addr, first["id"].(string))
+	// The in-flight job at SIGTERM: the drain lets it finish and commit
+	// its Put before the store closes.
+	second := submitByName(t, d1.addr, "poisson_baseline")
+	d1.stop(t)
+
+	entries, err := filepath.Glob(filepath.Join(dataDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonCount := 0
+	for _, path := range entries {
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(path, ".tmp") {
+			t.Fatalf("partially-written cache file survived SIGTERM: %s", path)
+		}
+		if !strings.HasSuffix(path, ".json") {
+			t.Fatalf("unexpected file in data dir: %s", path)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("cache entry %s does not parse after SIGTERM: %v", path, err)
+		}
+		jsonCount++
+	}
+	if jsonCount < 1 {
+		t.Fatalf("no cache entries in %s after a finished job", dataDir)
+	}
+	_ = second
+
+	// Second life: the finished scenario must be a cache hit with the
+	// exact same artifact bytes.
+	d2 := startDaemon(t, bin, "-store=disk", "-data-dir", dataDir, "-workers", "2")
+	resub := submitByName(t, d2.addr, "service_smoke")
+	if hit, _ := resub["cache_hit"].(bool); !hit {
+		t.Fatalf("restarted daemon missed the cache: %v", resub)
+	}
+	csvAfter := fetchCSV(t, d2.addr, resub["id"].(string))
+	if !bytes.Equal(csvBefore, csvAfter) {
+		t.Fatalf("trials.csv changed across restart: %d bytes vs %d bytes", len(csvBefore), len(csvAfter))
+	}
+	d2.stop(t)
+}
+
+// TestFrontDoorTopology boots the README quickstart: two disk-backed
+// shard daemons plus a front door, then proves submissions route by hash,
+// resubmissions hit the owning shard's cache, and both shards appear in
+// the merged listing and the front door's health.
+func TestFrontDoorTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildDaemon(t)
+	s0 := startDaemon(t, bin, "-shard-of", "0/2", "-store=disk", "-data-dir", t.TempDir(), "-workers", "2")
+	s1 := startDaemon(t, bin, "-shard-of", "1/2", "-store=disk", "-data-dir", t.TempDir(), "-workers", "2")
+	door := startDaemon(t, bin, "-route-to", s0.addr+","+s1.addr)
+
+	st := submitByName(t, door.addr, "service_smoke")
+	id := st["id"].(string)
+	if !strings.HasPrefix(id, "s0-") && !strings.HasPrefix(id, "s1-") {
+		t.Fatalf("front-door job ID %q carries no shard prefix", id)
+	}
+	waitState(t, door.addr, id)
+
+	resub := submitByName(t, door.addr, "service_smoke")
+	if hit, _ := resub["cache_hit"].(bool); !hit {
+		t.Fatalf("resubmission through front door missed the owning shard's cache: %v", resub)
+	}
+
+	resp, err := http.Get(door.addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Mode   string `json:"mode"`
+		Shards []struct {
+			OK bool `json:"ok"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Mode != "front-door" || len(health.Shards) != 2 {
+		t.Fatalf("front-door health: %+v", health)
+	}
+
+	door.stop(t)
+	s0.stop(t)
+	s1.stop(t)
+}

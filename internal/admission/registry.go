@@ -41,6 +41,10 @@ type RegistryConfig struct {
 	TTL time.Duration
 	// MaxSessions caps live sessions; 0 selects DefaultMaxSessions.
 	MaxSessions int
+	// IDPrefix prefixes every session ID the registry mints (e.g. "s1-"
+	// on shard 1 of a fleet), making IDs globally unique so a front door
+	// can route session calls by ID alone.
+	IDPrefix string
 	// OnExpired, when non-nil, is called after each sweep that expired
 	// sessions, with the count (metrics hook).
 	OnExpired func(count int)
@@ -134,7 +138,7 @@ func (r *Registry) Create(cfg Config) (*Handle, error) {
 	r.nextID++
 	now := r.now()
 	h := &Handle{
-		ID:       fmt.Sprintf("s%06d", r.nextID),
+		ID:       fmt.Sprintf("%ss%06d", r.cfg.IDPrefix, r.nextID),
 		Created:  now,
 		session:  s,
 		lastUsed: now,

@@ -25,9 +25,21 @@ const (
 	// CodeSessionExpired: the session existed but was expired by the idle
 	// TTL or explicitly deleted (HTTP 410).
 	CodeSessionExpired = "session_expired"
-	// CodeQueueFull: the job queue is at capacity; retry after the
-	// Retry-After header (HTTP 429).
+	// CodeQueueFull: the job queue is at capacity — the service-wide
+	// backpressure limit, independent of any per-tenant limit; retry after
+	// the Retry-After header (HTTP 429).
 	CodeQueueFull = "queue_full"
+	// CodeRateLimited: the caller's per-tenant token bucket is empty;
+	// retry after the Retry-After header (HTTP 429). Distinct from
+	// CodeQueueFull so clients can tell which limit fired.
+	CodeRateLimited = "rate_limited"
+	// CodeInflightLimit: the caller is at its per-tenant cap of
+	// concurrently live jobs; finish or await one, then retry (HTTP 429).
+	CodeInflightLimit = "inflight_limit"
+	// CodeUnauthorized: the request presented an API key the keyfile does
+	// not know (HTTP 401). Anonymous requests are never unauthorized —
+	// they resolve to the anonymous tenant.
+	CodeUnauthorized = "unauthorized"
 	// CodeShuttingDown: the server is draining (HTTP 503).
 	CodeShuttingDown = "shutting_down"
 	// CodeNotReady: the resource exists but is not in a state that can

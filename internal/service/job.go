@@ -72,6 +72,11 @@ type Job struct {
 	hash     string
 	scenario scenario.Scenario // normalized
 	created  time.Time
+	// release, when set, frees the submitting tenant's in-flight job slot.
+	// Invoked at most once — when the job reaches a terminal state, or
+	// immediately if the submission is refused after the slot was claimed.
+	// Set before the job is enqueued; cleared under mu by releaseSlot.
+	release func()
 
 	mu       sync.Mutex
 	state    State
@@ -209,6 +214,17 @@ func observations(results []*sim.Result) []timeline.Observation {
 	return obs
 }
 
+// releaseSlot invokes the tenant in-flight release hook at most once.
+func (j *Job) releaseSlot() {
+	j.mu.Lock()
+	release := j.release
+	j.release = nil
+	j.mu.Unlock()
+	if release != nil {
+		release()
+	}
+}
+
 // complete transitions to done with an outcome; fromCache marks a result
 // served by the store without an engine run.
 func (j *Job) complete(o *scenario.Outcome, fromCache bool) {
@@ -219,6 +235,7 @@ func (j *Job) complete(o *scenario.Outcome, fromCache bool) {
 	j.finished = time.Now()
 	rob := o.Robustness
 	j.mu.Unlock()
+	j.releaseSlot()
 	j.publish(Event{Type: "done", Robustness: &rob, CacheHit: fromCache})
 }
 
@@ -229,6 +246,7 @@ func (j *Job) fail(err error) {
 	j.errMsg = err.Error()
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.releaseSlot()
 	j.publish(Event{Type: "failed", Error: err.Error()})
 }
 

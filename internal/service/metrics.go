@@ -20,8 +20,20 @@ type Metrics struct {
 
 	// JobsSubmitted counts accepted submissions, including cache hits.
 	JobsSubmitted atomic.Int64
-	// JobsRejected counts submissions bounced with 429 by queue backpressure.
+	// JobsRejected counts submissions bounced with 429 by queue
+	// backpressure (error code queue_full). The two per-tenant 429 causes
+	// are counted separately below, so dashboards can tell the global
+	// queue limit from a client-specific one.
 	JobsRejected atomic.Int64
+	// RateLimited counts requests bounced with 429 by a per-tenant token
+	// bucket (error code rate_limited).
+	RateLimited atomic.Int64
+	// InflightRejected counts submissions bounced with 429 by a
+	// per-tenant in-flight job cap (error code inflight_limit).
+	InflightRejected atomic.Int64
+	// Unauthorized counts requests rejected with 401 for presenting an
+	// unknown API key.
+	Unauthorized atomic.Int64
 	// JobsQueued and JobsRunning are gauges of the current pipeline.
 	JobsQueued  atomic.Int64
 	JobsRunning atomic.Int64
@@ -194,7 +206,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, sessionsActive int) {
 			name, help, name, name, v)
 	}
 	counter("jobs_submitted_total", "Accepted job submissions, including cache hits.", m.JobsSubmitted.Load())
-	counter("jobs_rejected_total", "Submissions rejected with 429 by queue backpressure.", m.JobsRejected.Load())
+	counter("jobs_rejected_total", "Submissions rejected with 429 by queue backpressure (code queue_full).", m.JobsRejected.Load())
+	counter("rate_limited_total", "Requests rejected with 429 by per-tenant token buckets (code rate_limited).", m.RateLimited.Load())
+	counter("inflight_rejected_total", "Submissions rejected with 429 by per-tenant in-flight caps (code inflight_limit).", m.InflightRejected.Load())
+	counter("unauthorized_total", "Requests rejected with 401 for an unknown API key.", m.Unauthorized.Load())
 	counter("jobs_done_total", "Jobs finished successfully, including cache hits.", m.JobsDone.Load())
 	counter("jobs_failed_total", "Jobs that ended in an engine error.", m.JobsFailed.Load())
 	counter("cache_hits_total", "Submissions answered from the result store.", m.CacheHits.Load())
@@ -223,16 +238,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, sessionsActive int) {
 // snapshotMap renders the counters as one map (the expvar JSON payload).
 func (m *Metrics) snapshotMap() map[string]any {
 	return map[string]any{
-		"jobs_submitted": m.JobsSubmitted.Load(),
-		"jobs_rejected":  m.JobsRejected.Load(),
-		"jobs_queued":    m.JobsQueued.Load(),
-		"jobs_running":   m.JobsRunning.Load(),
-		"jobs_done":      m.JobsDone.Load(),
-		"jobs_failed":    m.JobsFailed.Load(),
-		"cache_hits":     m.CacheHits.Load(),
-		"engine_runs":    m.EngineRuns.Load(),
-		"trials_done":    m.TrialsDone.Load(),
-		"trials_per_sec": m.TrialsPerSec(),
+		"jobs_submitted":    m.JobsSubmitted.Load(),
+		"jobs_rejected":     m.JobsRejected.Load(),
+		"rate_limited":      m.RateLimited.Load(),
+		"inflight_rejected": m.InflightRejected.Load(),
+		"unauthorized":      m.Unauthorized.Load(),
+		"jobs_queued":       m.JobsQueued.Load(),
+		"jobs_running":      m.JobsRunning.Load(),
+		"jobs_done":         m.JobsDone.Load(),
+		"jobs_failed":       m.JobsFailed.Load(),
+		"cache_hits":        m.CacheHits.Load(),
+		"engine_runs":       m.EngineRuns.Load(),
+		"trials_done":       m.TrialsDone.Load(),
+		"trials_per_sec":    m.TrialsPerSec(),
 
 		"sessions_created":   m.SessionsCreated.Load(),
 		"sessions_expired":   m.SessionsExpired.Load(),

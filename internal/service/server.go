@@ -46,12 +46,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"prunesim/internal/admission"
 	"prunesim/internal/scenario"
+	"prunesim/internal/tenant"
 	"prunesim/internal/timeline"
 	"prunesim/internal/trace"
 )
@@ -68,8 +70,25 @@ type Config struct {
 	// Parallelism bounds concurrent trials per engine run; 0 defers to
 	// each scenario's own setting.
 	Parallelism int
-	// Store is the result cache (default a fresh MemoryStore).
+	// Store is the result cache (default a fresh in-memory store). The
+	// server takes ownership: Close tears it down. Persistent deployments
+	// pass a disk-backed store (store.OpenDisk), optionally size-bounded
+	// with store.NewLRU.
 	Store Store
+	// Tenants is the multi-tenancy registry: API keys, per-tenant token
+	// buckets, QPS accounting and in-flight job caps, enforced uniformly
+	// on every /v1 endpoint. Default is a registry with only an unlimited
+	// anonymous tenant (the pre-tenancy behavior). The server takes
+	// ownership: Close stops its accounting goroutine.
+	Tenants *tenant.Registry
+	// IDPrefix prefixes every job and session ID this server mints (e.g.
+	// "s1-" on shard 1), making IDs globally unique across a shard fleet
+	// so a front door can route by ID alone.
+	IDPrefix string
+	// ShardIndex/ShardCount declare this server's position in a
+	// shard-by-hash fleet (reported in /healthz; 0/0 means standalone).
+	ShardIndex int
+	ShardCount int
 	// Library is the set of named scenarios POST /v1/jobs accepts by name
 	// and GET /v1/scenarios lists (typically examples/scenarios.Library()).
 	Library []scenario.Scenario
@@ -110,6 +129,10 @@ type Server struct {
 	libInfos []scenarioInfo // precomputed: hashing the library per GET is waste
 	queue    chan *Job
 	sessions *admission.Registry
+	tenants  *tenant.Registry
+	idPrefix string
+	shardIdx int
+	shardCnt int
 	start    time.Time
 	// done closes when Close begins, unblocking long-lived handlers (SSE
 	// streams) so a graceful HTTP shutdown is not held hostage by them.
@@ -150,12 +173,21 @@ func New(cfg Config) *Server {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = 15 * time.Second
 	}
+	tenants := cfg.Tenants
+	if tenants == nil {
+		// A zero tenant.Config cannot fail to validate.
+		tenants, _ = tenant.NewRegistry(tenant.Config{})
+	}
 	s := &Server{
 		engine:           scenario.NewEngine(cfg.Parallelism),
 		store:            store,
 		metrics:          newMetrics(),
 		library:          make(map[string]scenario.Scenario, len(cfg.Library)),
 		queue:            make(chan *Job, cfg.QueueCapacity),
+		tenants:          tenants,
+		idPrefix:         cfg.IDPrefix,
+		shardIdx:         cfg.ShardIndex,
+		shardCnt:         cfg.ShardCount,
 		start:            time.Now(),
 		done:             make(chan struct{}),
 		jobs:             make(map[string]*Job),
@@ -166,6 +198,7 @@ func New(cfg Config) *Server {
 	s.sessions = admission.NewRegistry(admission.RegistryConfig{
 		TTL:         cfg.SessionTTL,
 		MaxSessions: cfg.MaxSessions,
+		IDPrefix:    cfg.IDPrefix,
 		OnExpired:   func(n int) { s.metrics.SessionsExpired.Add(int64(n)) },
 	})
 	// Later entries override earlier ones by name (operator -scenarios
@@ -214,7 +247,12 @@ func (s *Server) libIndex(name string) (int, bool) {
 // Metrics exposes the server's counters (tests and embedders read them).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops accepting jobs and waits for in-flight work to finish.
+// Close stops accepting jobs, waits for in-flight work to finish, then
+// tears down what the server owns: the admission-session registry, the
+// tenant registry's accounting goroutine, and the result store. The store
+// is closed last and only after the final worker's Put has returned, so a
+// graceful shutdown never truncates a cache write — a disk-backed store
+// flushes every committed entry before the process exits.
 // Queued-but-unstarted jobs still run; new submissions get 503.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -228,6 +266,10 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.sessions.Close()
+	s.tenants.Close()
+	// Best-effort: the cache is already durable entry-by-entry; a close
+	// error leaves nothing actionable for a draining server.
+	s.store.Close()
 }
 
 // RouteInfo describes one registered endpoint. Routes() is the single
@@ -280,11 +322,17 @@ func (s *Server) Routes() []RouteInfo {
 	return infos
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. Every /v1 route is wrapped in the tenancy
+// middleware (API-key resolution + per-tenant rate limiting); /healthz
+// and /metrics stay open so probes and scrapers never get limited out.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range s.routes() {
-		mux.HandleFunc(r.Method+" "+r.Pattern, r.handler)
+		h := r.handler
+		if strings.HasPrefix(r.Pattern, "/v1/") {
+			h = s.withTenant(h)
+		}
+		mux.HandleFunc(r.Method+" "+r.Pattern, h)
 	}
 	return mux
 }
@@ -350,7 +398,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, res := s.submit(norm, hash)
+	tn := s.requestTenant(r)
+	job, res := s.submit(norm, hash, tn)
 	switch res {
 	case submitCacheHit:
 		writeJSON(w, http.StatusOK, job.status())
@@ -359,6 +408,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case submitFull:
 		w.Header().Set("Retry-After", "1")
 		apiError(w, http.StatusTooManyRequests, CodeQueueFull, "job queue full (%d slots); retry later", cap(s.queue))
+	case submitInflight:
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusTooManyRequests, CodeInflightLimit,
+			"tenant %s is at its in-flight job cap (%d); await or finish a job, then retry",
+			tn.Name(), tn.Limits().MaxInFlight)
 	case submitClosed:
 		apiError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server shutting down")
 	}
@@ -374,16 +428,25 @@ const (
 	submitCacheHit
 	// submitFull: queue at capacity, submission shed (job not registered).
 	submitFull
+	// submitInflight: the submitting tenant is at its in-flight job cap
+	// (job not registered).
+	submitInflight
 	// submitClosed: server shutting down.
 	submitClosed
 )
 
 // submit is the one submission path under both POST /v1/jobs and the
-// programmatic Submit: cache lookup by content hash, then a non-blocking
-// enqueue. The returned job is registered (and resolvable by ID) unless
-// the result is submitFull or submitClosed.
-func (s *Server) submit(norm scenario.Scenario, hash string) (*Job, submitResult) {
-	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
+// programmatic Submit: cache lookup by content hash, per-tenant in-flight
+// accounting, then a non-blocking enqueue. The returned job is registered
+// (and resolvable by ID) unless the result is submitFull, submitInflight
+// or submitClosed.
+//
+// Cache hits never count against the tenant's in-flight cap — they are
+// born done and occupy no queue or worker slot. A miss claims one slot
+// before enqueueing and releases it when the job reaches a terminal
+// state (or immediately, if the enqueue itself is refused).
+func (s *Server) submit(norm scenario.Scenario, hash string, tn *tenant.Tenant) (*Job, submitResult) {
+	id := fmt.Sprintf("%sj%06d", s.idPrefix, s.nextID.Add(1))
 	job := newJob(id, hash, norm)
 	if cached, ok := s.store.Get(hash); ok {
 		// The stored Outcome embeds the *first* submitter's normalized
@@ -405,6 +468,13 @@ func (s *Server) submit(norm scenario.Scenario, hash string) (*Job, submitResult
 		s.metrics.JobsDone.Add(1)
 		return job, submitCacheHit
 	}
+	if tn != nil {
+		if !tn.TryBeginJob() {
+			s.metrics.InflightRejected.Add(1)
+			return nil, submitInflight
+		}
+		job.release = tn.EndJob
+	}
 	switch s.tryEnqueue(job) {
 	case enqueueOK:
 		s.mu.Lock()
@@ -413,8 +483,10 @@ func (s *Server) submit(norm scenario.Scenario, hash string) (*Job, submitResult
 		s.metrics.JobsSubmitted.Add(1)
 		return job, submitQueued
 	case enqueueClosed:
+		job.releaseSlot()
 		return nil, submitClosed
 	default:
+		job.releaseSlot()
 		s.metrics.JobsRejected.Add(1)
 		return nil, submitFull
 	}
@@ -586,7 +658,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.workers,
@@ -594,7 +666,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity": cap(s.queue),
 		"cached_results": s.store.Len(),
 		"sessions":       s.sessions.Len(),
-	})
+		"tenants":        s.tenants.Snapshots(),
+	}
+	if s.shardCnt > 0 {
+		body["shard"] = fmt.Sprintf("%d/%d", s.shardIdx, s.shardCnt)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -617,12 +694,14 @@ func (s *Server) Submit(sc scenario.Scenario) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	job, res := s.submit(norm, hash)
+	job, res := s.submit(norm, hash, s.tenants.Anonymous())
 	switch res {
 	case submitClosed:
 		return nil, ErrClosed
 	case submitFull:
 		return nil, fmt.Errorf("service: job queue full (%d slots)", cap(s.queue))
+	case submitInflight:
+		return nil, fmt.Errorf("service: anonymous tenant at its in-flight job cap")
 	default:
 		return job, nil
 	}

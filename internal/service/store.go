@@ -1,60 +1,20 @@
 package service
 
 import (
-	"sync"
-
-	"prunesim/internal/scenario"
+	"prunesim/internal/store"
 )
 
-// Store is the pluggable result cache of the service, keyed by the
-// canonical scenario content hash (scenario.Scenario.Hash). Implementations
-// must be safe for concurrent use; stored outcomes are shared between the
-// cache and every job that hits it, so callers must treat them as
-// immutable.
+// Store is the pluggable result cache of the service, re-exported from
+// internal/store where the contract and its backends (Memory, Disk, LRU)
+// now live. Keys are canonical scenario content hashes
+// (scenario.Scenario.Hash); stored outcomes are shared between the cache
+// and every job that hits them, so callers must treat them as immutable.
 //
-// The in-memory MemoryStore is the default; a persistent or distributed
-// backend (disk, Redis, a shared blob store for a daemon fleet) plugs in
-// through Config.Store without touching the server.
-type Store interface {
-	// Get returns the outcome cached under key, if any.
-	Get(key string) (*scenario.Outcome, bool)
-	// Put caches an outcome under key, replacing any previous entry.
-	Put(key string, o *scenario.Outcome)
-	// Len reports the number of cached outcomes.
-	Len() int
-}
+// The server owns whatever Store it is configured with: Close tears it
+// down during graceful shutdown.
+type Store = store.Store
 
-// MemoryStore is the default Store: a mutex-guarded in-process map. It
-// grows without bound; the daemon's result set is bounded by distinct
-// scenarios submitted, which operators control.
-type MemoryStore struct {
-	mu sync.RWMutex
-	m  map[string]*scenario.Outcome
-}
-
-// NewMemoryStore returns an empty in-memory result store.
-func NewMemoryStore() *MemoryStore {
-	return &MemoryStore{m: make(map[string]*scenario.Outcome)}
-}
-
-// Get implements Store.
-func (s *MemoryStore) Get(key string) (*scenario.Outcome, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.m[key]
-	return o, ok
-}
-
-// Put implements Store.
-func (s *MemoryStore) Put(key string, o *scenario.Outcome) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m[key] = o
-}
-
-// Len implements Store.
-func (s *MemoryStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
-}
+// NewMemoryStore returns the default in-memory result store
+// (store.NewMemory; kept here so embedders configuring a Server need only
+// this package).
+func NewMemoryStore() *store.Memory { return store.NewMemory() }

@@ -1,0 +1,88 @@
+// Package shard is the dispatch layer of a multi-node prunesimd fleet:
+// a deterministic scenario-hash → shard mapping, the ID-prefix scheme that
+// makes every shard's job and session IDs globally routable, and a
+// front-door HTTP router (Router) that proxies the v1 surface onto a set
+// of worker shards.
+//
+// The design has no shared state between shards. Each worker runs the
+// ordinary service with two extra bits of configuration: its shard
+// position (reported in /healthz) and the ID prefix it mints ("s<i>-").
+// The front door routes:
+//
+//   - scenario submissions by content hash (For), so an identical
+//     scenario always lands on the same shard and its result cache;
+//   - everything addressed by job or session ID purely by the ID's
+//     prefix (ShardOfID) — no lookup tables, no rendezvous state;
+//   - list endpoints by fanning out to every shard and merging;
+//   - session creation round-robin (sessions have no content hash).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// For maps a scenario content hash (the canonical SHA-256 hex from
+// Scenario.Hash) to a shard index in [0, n). The mapping is FNV-1a over
+// the hash string modulo n: stable across processes and releases, so a
+// fleet can be restarted without scattering its cache. n must be >= 1.
+func For(hash string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(hash))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Prefix returns the ID prefix shard i mints ("s2-"): the service
+// prepends it to every job ID ("s2-j000007") and session ID
+// ("s2-s000001"), making IDs globally unique and self-routing.
+func Prefix(i int) string {
+	return fmt.Sprintf("s%d-", i)
+}
+
+// ShardOfID extracts the shard index from a prefixed ID ("s1-j000004" →
+// 1). Reports false for IDs without a well-formed shard prefix (e.g. IDs
+// minted by a standalone, unsharded daemon).
+func ShardOfID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, false
+	}
+	digits, _, ok := strings.Cut(rest, "-")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	i, err := strconv.Atoi(digits)
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// ParseSpec parses a -shard-of flag value "i/N" (e.g. "0/2", "1/2") into
+// the shard index and fleet size, validating 0 <= i < N and N >= 1.
+func ParseSpec(spec string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard: spec %q is not i/N", spec)
+	}
+	index, err = strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard: spec %q: bad index: %v", spec, err)
+	}
+	count, err = strconv.Atoi(ns)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard: spec %q: bad count: %v", spec, err)
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("shard: spec %q: count must be >= 1", spec)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("shard: spec %q: index must be in [0, %d)", spec, count)
+	}
+	return index, count, nil
+}

@@ -1,0 +1,90 @@
+package shard
+
+import "testing"
+
+// TestForPinned pins the hash → shard mapping: it must never change
+// across releases, or a restarted fleet scatters its disk caches.
+func TestForPinned(t *testing.T) {
+	cases := []struct {
+		hash string
+		n    int
+		want int
+	}{
+		{"0000000000000000000000000000000000000000000000000000000000000000", 2, 1},
+		{"0000000000000000000000000000000000000000000000000000000000000000", 3, 0},
+		{"0000000000000000000000000000000000000000000000000000000000000000", 5, 4},
+		{"a94a8fe5ccb19ba61c4c0873d391e987982fbbd3ffffffffffffffffffffffff", 2, 0},
+		{"a94a8fe5ccb19ba61c4c0873d391e987982fbbd3ffffffffffffffffffffffff", 3, 2},
+		{"a94a8fe5ccb19ba61c4c0873d391e987982fbbd3ffffffffffffffffffffffff", 5, 1},
+		{"deadbeef", 2, 1},
+		{"deadbeef", 3, 0},
+		{"deadbeef", 5, 1},
+		// Degenerate fleets always answer shard 0.
+		{"deadbeef", 1, 0},
+		{"deadbeef", 0, 0},
+	}
+	for _, c := range cases {
+		if got := For(c.hash, c.n); got != c.want {
+			t.Errorf("For(%q, %d) = %d, want %d", c.hash, c.n, got, c.want)
+		}
+	}
+}
+
+// TestForCoversAllShards: FNV-1a over hex hashes must not collapse onto a
+// subset of shards.
+func TestForCoversAllShards(t *testing.T) {
+	const n = 4
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		hash := ""
+		for j, hex := 0, "0123456789abcdef"; j < 8; j++ {
+			hash += string(hex[(i>>uint(j%4))&0xf])
+		}
+		s := For(hash+string(rune('a'+i%26)), n)
+		if s < 0 || s >= n {
+			t.Fatalf("For out of range: %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("256 hashes landed on %d of %d shards", len(seen), n)
+	}
+}
+
+// TestPrefixRoundTrip: the prefix a shard mints routes back to it.
+func TestPrefixRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 2, 7, 12, 100} {
+		for _, suffix := range []string{"j000001", "s000042"} {
+			id := Prefix(i) + suffix
+			got, ok := ShardOfID(id)
+			if !ok || got != i {
+				t.Errorf("ShardOfID(%q) = %d, %v; want %d, true", id, got, ok, i)
+			}
+		}
+	}
+}
+
+// TestShardOfIDRejects: unsharded or malformed IDs are not routable.
+func TestShardOfIDRejects(t *testing.T) {
+	for _, id := range []string{"", "j000001", "x1-j000001", "s-j000001", "sx-j000001", "s1j000001", "s-1-j000001"} {
+		if got, ok := ShardOfID(id); ok {
+			t.Errorf("ShardOfID(%q) = %d, true; want false", id, got)
+		}
+	}
+}
+
+// TestParseSpec covers the -shard-of flag grammar.
+func TestParseSpec(t *testing.T) {
+	i, n, err := ParseSpec("1/3")
+	if err != nil || i != 1 || n != 3 {
+		t.Fatalf("ParseSpec(1/3) = %d, %d, %v", i, n, err)
+	}
+	if i, n, err := ParseSpec("0/1"); err != nil || i != 0 || n != 1 {
+		t.Fatalf("ParseSpec(0/1) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "2/2", "3/2", "-1/2", "a/2", "1/b", "1/0", "1/-2"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}

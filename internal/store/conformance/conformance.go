@@ -1,0 +1,243 @@
+// Package conformance is the executable contract of store.Store: a test
+// suite every backend must pass, run by each backend's own test file (and
+// by any future backend's). It exercises the full interface — Get/Put
+// round-trips with byte-identical JSON, Delete, sorted Keys iteration,
+// invalid-key rejection, Close idempotence — plus concurrent Get/Put/Delete
+// races that only mean something under -race, and (for durable backends)
+// a close/reopen round-trip proving entries survive a restart bit-for-bit.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"prunesim/internal/scenario"
+	"prunesim/internal/sim"
+	"prunesim/internal/store"
+)
+
+// Opener returns a fresh, empty store for one subtest. Cleanup (including
+// Close, if the subtest did not close it) is the opener's business —
+// register it with t.Cleanup.
+type Opener func(t *testing.T) store.Store
+
+// Outcome builds a deterministic test outcome whose content varies with
+// seed, so byte-identity checks catch cross-key mixups as well as lossy
+// encoding.
+func Outcome(seed int) *scenario.Outcome {
+	results := make([]*sim.Result, 3)
+	for i := range results {
+		k := seed*7 + i
+		results[i] = &sim.Result{
+			TotalTasks:      1000 + k,
+			Counted:         900 + k,
+			OnTime:          700 + k,
+			Late:            100 + k,
+			DroppedReactive: 50,
+			Unfinished:      50 - k%3,
+			Robustness:      77.25 + float64(k)/3, // exercise non-terminating binary fractions
+			Makespan:        1234.5625 + float64(seed),
+			PerTypeOnTime:   []int{k, k + 1, k + 2},
+		}
+	}
+	return &scenario.Outcome{Results: results}
+}
+
+// encode renders an outcome in its canonical JSON form for comparison.
+func encode(t *testing.T, o *scenario.Outcome) string {
+	t.Helper()
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatalf("marshaling outcome: %v", err)
+	}
+	return string(data)
+}
+
+// Run exercises the Store contract against a backend.
+func Run(t *testing.T, open Opener) {
+	t.Run("empty", func(t *testing.T) {
+		s := open(t)
+		if n := s.Len(); n != 0 {
+			t.Errorf("Len of empty store = %d, want 0", n)
+		}
+		if keys := s.Keys(); len(keys) != 0 {
+			t.Errorf("Keys of empty store = %v, want none", keys)
+		}
+		if _, ok := s.Get("absent"); ok {
+			t.Error("Get on empty store reported a hit")
+		}
+		if s.Delete("absent") {
+			t.Error("Delete of an absent key reported true")
+		}
+	})
+
+	t.Run("round-trip", func(t *testing.T) {
+		s := open(t)
+		want := Outcome(1)
+		wantJSON := encode(t, want)
+		s.Put("k1", want)
+		got, ok := s.Get("k1")
+		if !ok {
+			t.Fatal("Get after Put missed")
+		}
+		if gotJSON := encode(t, got); gotJSON != wantJSON {
+			t.Errorf("Get returned a different outcome\n got: %s\nwant: %s", gotJSON, wantJSON)
+		}
+		if n := s.Len(); n != 1 {
+			t.Errorf("Len = %d, want 1", n)
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		s := open(t)
+		s.Put("k", Outcome(1))
+		second := Outcome(2)
+		s.Put("k", second)
+		got, ok := s.Get("k")
+		if !ok {
+			t.Fatal("Get after overwrite missed")
+		}
+		if encode(t, got) != encode(t, second) {
+			t.Error("Get returned the first Put's outcome after an overwrite")
+		}
+		if n := s.Len(); n != 1 {
+			t.Errorf("Len after overwrite = %d, want 1", n)
+		}
+	})
+
+	t.Run("delete", func(t *testing.T) {
+		s := open(t)
+		s.Put("k", Outcome(1))
+		if !s.Delete("k") {
+			t.Error("Delete of a present key reported false")
+		}
+		if _, ok := s.Get("k"); ok {
+			t.Error("Get after Delete hit")
+		}
+		if n := s.Len(); n != 0 {
+			t.Errorf("Len after Delete = %d, want 0", n)
+		}
+		if s.Delete("k") {
+			t.Error("second Delete reported true")
+		}
+	})
+
+	t.Run("keys-sorted", func(t *testing.T) {
+		s := open(t)
+		for _, k := range []string{"zz", "aa", "mm"} {
+			s.Put(k, Outcome(1))
+		}
+		want := []string{"aa", "mm", "zz"}
+		if got := s.Keys(); !reflect.DeepEqual(got, want) {
+			t.Errorf("Keys = %v, want %v (ascending)", got, want)
+		}
+	})
+
+	t.Run("invalid-keys", func(t *testing.T) {
+		s := open(t)
+		for _, k := range []string{"", ".hidden", "a/b", "a b", "né"} {
+			s.Put(k, Outcome(1))
+			if _, ok := s.Get(k); ok {
+				t.Errorf("Get(%q) hit after an invalid-key Put; want best-effort drop", k)
+			}
+		}
+		if n := s.Len(); n != 0 {
+			t.Errorf("Len after invalid-key Puts = %d, want 0", n)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		s := open(t)
+		const (
+			workers = 8
+			rounds  = 50
+		)
+		shared := Outcome(0)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				own := fmt.Sprintf("worker-%d", w)
+				for i := 0; i < rounds; i++ {
+					s.Put(own, Outcome(w))
+					s.Put("shared", shared)
+					if _, ok := s.Get(own); !ok {
+						t.Errorf("worker %d: own key missed", w)
+						return
+					}
+					s.Get("shared")
+					s.Len()
+					if i%10 == 9 {
+						s.Keys()
+						s.Delete(own)
+						s.Put(own, Outcome(w))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		got, ok := s.Get("shared")
+		if !ok {
+			t.Fatal("shared key missed after the race")
+		}
+		if encode(t, got) != encode(t, shared) {
+			t.Error("shared key corrupted by concurrent writers")
+		}
+	})
+
+	t.Run("close-idempotent", func(t *testing.T) {
+		s := open(t)
+		s.Put("k", Outcome(1))
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	})
+}
+
+// Reopener opens (or re-opens) the durable store rooted at dir.
+type Reopener func(t *testing.T, dir string) store.Store
+
+// RunDurable exercises the restart contract of a durable backend: entries
+// Put before Close are served byte-identically by a fresh store over the
+// same directory.
+func RunDurable(t *testing.T, open Reopener) {
+	t.Run("reopen-round-trip", func(t *testing.T) {
+		dir := t.TempDir()
+		first := open(t, dir)
+		wants := map[string]string{}
+		for i := 0; i < 5; i++ {
+			key := fmt.Sprintf("entry-%d", i)
+			o := Outcome(i)
+			wants[key] = encode(t, o)
+			first.Put(key, o)
+		}
+		if err := first.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		second := open(t, dir)
+		if n := second.Len(); n != len(wants) {
+			t.Errorf("reopened Len = %d, want %d", n, len(wants))
+		}
+		for key, want := range wants {
+			got, ok := second.Get(key)
+			if !ok {
+				t.Errorf("reopened store missed %q", key)
+				continue
+			}
+			if encode(t, got) != want {
+				t.Errorf("reopened %q is not byte-identical to what was stored", key)
+			}
+		}
+		if err := second.Close(); err != nil {
+			t.Fatalf("Close after reopen: %v", err)
+		}
+	})
+}

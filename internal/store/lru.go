@@ -1,0 +1,139 @@
+package store
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"prunesim/internal/scenario"
+)
+
+// LRU is a size-bounded wrapper composable over any Store: it tracks
+// recency of use and evicts the least-recently-used entry from the inner
+// backend once the entry count exceeds the cap. Over Memory it bounds the
+// daemon's resident cache; over Disk it bounds the data directory while
+// keeping the surviving entries durable.
+//
+// Entries already present in the inner store when the wrapper is built
+// (a reopened disk store) are adopted in arbitrary recency order — they
+// count against the cap and are evicted before anything used since.
+type LRU struct {
+	mu    sync.Mutex
+	max   int
+	inner Store
+	ll    *list.List // of string keys; front = most recently used
+	elems map[string]*list.Element
+}
+
+// NewLRU wraps inner with a maxEntries-bound LRU (maxEntries must be
+// positive). Existing inner entries are adopted and immediately trimmed
+// to the cap.
+func NewLRU(inner Store, maxEntries int) *LRU {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	l := &LRU{
+		max:   maxEntries,
+		inner: inner,
+		ll:    list.New(),
+		elems: make(map[string]*list.Element),
+	}
+	for _, k := range inner.Keys() {
+		l.elems[k] = l.ll.PushFront(k)
+	}
+	l.mu.Lock()
+	l.evictLocked()
+	l.mu.Unlock()
+	return l
+}
+
+// bumpLocked moves key to the front (most recent); caller holds l.mu.
+func (l *LRU) bumpLocked(key string) {
+	if e, ok := l.elems[key]; ok {
+		l.ll.MoveToFront(e)
+	} else {
+		l.elems[key] = l.ll.PushFront(key)
+	}
+}
+
+// evictLocked trims the tail down to the cap; caller holds l.mu.
+func (l *LRU) evictLocked() {
+	for l.ll.Len() > l.max {
+		back := l.ll.Back()
+		key := back.Value.(string)
+		l.ll.Remove(back)
+		delete(l.elems, key)
+		l.inner.Delete(key)
+	}
+}
+
+// Get implements Store; a hit refreshes the entry's recency.
+func (l *LRU) Get(key string) (*scenario.Outcome, bool) {
+	l.mu.Lock()
+	e, tracked := l.elems[key]
+	if tracked {
+		l.ll.MoveToFront(e)
+	}
+	l.mu.Unlock()
+	if !tracked {
+		return nil, false
+	}
+	o, ok := l.inner.Get(key)
+	if !ok {
+		// The inner store lost it (quarantined, deleted out of band);
+		// stop tracking so the slot frees up.
+		l.mu.Lock()
+		if e, still := l.elems[key]; still {
+			l.ll.Remove(e)
+			delete(l.elems, key)
+		}
+		l.mu.Unlock()
+	}
+	return o, ok
+}
+
+// Put implements Store, evicting the least-recently-used entries once the
+// cap is exceeded.
+func (l *LRU) Put(key string, o *scenario.Outcome) {
+	if !ValidKey(key) {
+		return
+	}
+	l.inner.Put(key, o)
+	l.mu.Lock()
+	l.bumpLocked(key)
+	l.evictLocked()
+	l.mu.Unlock()
+}
+
+// Delete implements Store.
+func (l *LRU) Delete(key string) bool {
+	l.mu.Lock()
+	if e, ok := l.elems[key]; ok {
+		l.ll.Remove(e)
+		delete(l.elems, key)
+	}
+	l.mu.Unlock()
+	return l.inner.Delete(key)
+}
+
+// Keys implements Store (ascending key order, not recency order).
+func (l *LRU) Keys() []string {
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.elems))
+	for k := range l.elems {
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Len implements Store.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.elems)
+}
+
+// Close implements Store, closing the inner backend.
+func (l *LRU) Close() error { return l.inner.Close() }

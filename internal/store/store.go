@@ -1,0 +1,132 @@
+// Package store holds the result-store contract of the serving layer and
+// its backends. A Store is the daemon's sweep cache: outcomes keyed by the
+// canonical scenario content hash (scenario.Scenario.Hash), shared between
+// the cache and every job that hits it, so callers must treat stored
+// outcomes as immutable.
+//
+// Three backends compose:
+//
+//   - Memory: the default mutex-guarded in-process map (lost on restart).
+//   - Disk: one file per key under a data directory, written atomically
+//     (tmp + rename) so a crash mid-Put can never leave a partially
+//     written entry; a restarted daemon rebuilds its index from the
+//     directory listing and serves yesterday's sweeps as cache hits.
+//   - LRU: a size-bounded wrapper composable over either backend.
+//
+// Every backend must satisfy the conformance suite in
+// internal/store/conformance, which exercises the contract below —
+// including concurrent Get/Put races under -race and, for durable
+// backends, a close/reopen round-trip.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"prunesim/internal/scenario"
+)
+
+// Store is the pluggable result cache. Implementations must be safe for
+// concurrent use. Keys are non-empty filesystem-safe tokens (the scenario
+// content hash in production — lowercase hex — and anything matching
+// ValidKey in general); outcomes passed to Put and returned by Get are
+// shared and must be treated as immutable by all parties.
+type Store interface {
+	// Get returns the outcome cached under key, if any.
+	Get(key string) (*scenario.Outcome, bool)
+	// Put caches an outcome under key, replacing any previous entry.
+	// Caching is best-effort: a backend that cannot persist the entry
+	// (disk full, invalid key) drops it silently — a later Get simply
+	// misses and the caller recomputes.
+	Put(key string, o *scenario.Outcome)
+	// Delete removes the entry under key, reporting whether it existed.
+	Delete(key string) bool
+	// Keys returns every cached key in ascending order.
+	Keys() []string
+	// Len reports the number of cached outcomes.
+	Len() int
+	// Close flushes and releases the backend. The store must not be used
+	// afterwards; Close is idempotent.
+	Close() error
+}
+
+// ValidKey reports whether key is storable by every backend: non-empty,
+// at most 250 bytes, made of [a-zA-Z0-9._-] and not starting with a dot
+// (dotfiles would collide with backend-internal names on disk).
+func ValidKey(key string) bool {
+	if key == "" || len(key) > 250 || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Memory is the default Store: a mutex-guarded in-process map. It grows
+// without bound unless wrapped in an LRU; the daemon's result set is
+// bounded by distinct scenarios submitted, which operators control.
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string]*scenario.Outcome
+}
+
+// NewMemory returns an empty in-memory result store.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string]*scenario.Outcome)}
+}
+
+// Get implements Store.
+func (s *Memory) Get(key string) (*scenario.Outcome, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.m[key]
+	return o, ok
+}
+
+// Put implements Store.
+func (s *Memory) Put(key string, o *scenario.Outcome) {
+	if !ValidKey(key) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = o
+}
+
+// Delete implements Store.
+func (s *Memory) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	return ok
+}
+
+// Keys implements Store.
+func (s *Memory) Keys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Len implements Store.
+func (s *Memory) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close implements Store (no resources to release).
+func (s *Memory) Close() error { return nil }

@@ -1,0 +1,229 @@
+package store_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prunesim/internal/store"
+	"prunesim/internal/store/conformance"
+)
+
+// TestConformance runs the shared Store contract against every backend
+// and the LRU wrapper composed over each.
+func TestConformance(t *testing.T) {
+	backends := map[string]conformance.Opener{
+		"memory": func(t *testing.T) store.Store {
+			s := store.NewMemory()
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+		"disk": func(t *testing.T) store.Store {
+			s, err := store.OpenDisk(t.TempDir())
+			if err != nil {
+				t.Fatalf("OpenDisk: %v", err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+		// The cap is far above what the suite stores, so LRU behaves as a
+		// transparent wrapper here; eviction has its own tests below.
+		"lru-memory": func(t *testing.T) store.Store {
+			s := store.NewLRU(store.NewMemory(), 1024)
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+		"lru-disk": func(t *testing.T) store.Store {
+			inner, err := store.OpenDisk(t.TempDir())
+			if err != nil {
+				t.Fatalf("OpenDisk: %v", err)
+			}
+			s := store.NewLRU(inner, 1024)
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+	}
+	for name, open := range backends {
+		t.Run(name, func(t *testing.T) { conformance.Run(t, open) })
+	}
+}
+
+// TestDiskDurable runs the restart round-trip contract on the disk
+// backend, bare and LRU-wrapped.
+func TestDiskDurable(t *testing.T) {
+	open := func(t *testing.T, dir string) store.Store {
+		s, err := store.OpenDisk(dir)
+		if err != nil {
+			t.Fatalf("OpenDisk(%s): %v", dir, err)
+		}
+		return s
+	}
+	t.Run("disk", func(t *testing.T) { conformance.RunDurable(t, open) })
+	t.Run("lru-disk", func(t *testing.T) {
+		conformance.RunDurable(t, func(t *testing.T, dir string) store.Store {
+			return store.NewLRU(open(t, dir), 1024)
+		})
+	})
+}
+
+func TestValidKey(t *testing.T) {
+	valid := []string{"a", "abc123", "A-B_c.d", "0123456789abcdef"}
+	invalid := []string{"", ".hidden", "a/b", "a\\b", "a b", "né", "a\x00b"}
+	for _, k := range valid {
+		if !store.ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	for _, k := range invalid {
+		if store.ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+	if long := string(make([]byte, 251)); store.ValidKey(long) {
+		t.Error("ValidKey accepted a 251-byte key")
+	}
+}
+
+// TestDiskBootCleansTmp proves a crashed writer's temp file is removed at
+// open and never surfaces as an entry — the on-disk half of the
+// "no partially written cache file survives a kill mid-Put" invariant.
+func TestDiskBootCleansTmp(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a writer killed mid-Put: a tmp file exists, the rename
+	// never happened.
+	tmpName := filepath.Join(dir, "abc123.42.tmp")
+	if err := os.WriteFile(tmpName, []byte(`{"truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer s.Close()
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len = %d, want 0 (tmp files are not entries)", n)
+	}
+	if _, err := os.Stat(tmpName); !os.IsNotExist(err) {
+		t.Errorf("boot left the tmp file in place (stat err %v)", err)
+	}
+}
+
+// TestDiskQuarantinesCorruptEntry proves a corrupt committed entry is
+// reported as a miss, moved to the quarantine directory, and not retried.
+func TestDiskQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "badbeef.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer s.Close()
+	// The lazy index trusts the filename, so the entry is visible...
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (index is rebuilt from filenames)", n)
+	}
+	// ...until the first Get decodes it and quarantines the corpse.
+	if _, ok := s.Get("badbeef"); ok {
+		t.Fatal("Get of a corrupt entry reported a hit")
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len after quarantine = %d, want 0", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "badbeef.json")); err != nil {
+		t.Errorf("corrupt entry was not moved to quarantine: %v", err)
+	}
+	if q, _ := s.Stats(); q != 1 {
+		t.Errorf("quarantined count = %d, want 1", q)
+	}
+	// A fresh Put repairs the slot.
+	s.Put("badbeef", conformance.Outcome(9))
+	if _, ok := s.Get("badbeef"); !ok {
+		t.Error("Put after quarantine did not repair the entry")
+	}
+}
+
+// TestDiskPutAtomic looks for the write-path invariant directly: during
+// and after a Put, the only visible file for the key decodes cleanly.
+func TestDiskPutAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer s.Close()
+	s.Put("k", conformance.Outcome(3))
+	data, err := os.ReadFile(filepath.Join(dir, "k.json"))
+	if err != nil {
+		t.Fatalf("committed entry unreadable: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Error("committed entry is not valid JSON")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("tmp file %s left behind after Put", e.Name())
+		}
+	}
+}
+
+// TestLRUEvicts proves the wrapper bounds the inner store and evicts in
+// least-recently-used order, counting Get hits as use.
+func TestLRUEvicts(t *testing.T) {
+	inner := store.NewMemory()
+	l := store.NewLRU(inner, 2)
+	defer l.Close()
+	l.Put("a", conformance.Outcome(1))
+	l.Put("b", conformance.Outcome(2))
+	l.Get("a") // a is now more recent than b
+	l.Put("c", conformance.Outcome(3))
+	if _, ok := l.Get("b"); ok {
+		t.Error("b survived eviction; want it dropped as least-recently-used")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := l.Get("c"); !ok {
+		t.Error("c missing right after Put")
+	}
+	if n := inner.Len(); n != 2 {
+		t.Errorf("inner Len = %d, want 2 (eviction must reach the backend)", n)
+	}
+	if got, want := l.Keys(), []string{"a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+// TestLRUAdoptsExistingEntries proves wrapping a reopened disk store
+// adopts its entries into the cap.
+func TestLRUAdoptsExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"w", "x", "y", "z"} {
+		d.Put(k, conformance.Outcome(4))
+	}
+	d.Close()
+
+	reopened, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := store.NewLRU(reopened, 3)
+	defer l.Close()
+	if n := l.Len(); n != 3 {
+		t.Errorf("Len after adoption trim = %d, want 3", n)
+	}
+	if n := reopened.Len(); n != 3 {
+		t.Errorf("inner Len after adoption trim = %d, want 3", n)
+	}
+}

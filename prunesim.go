@@ -236,8 +236,8 @@ func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
 
 // Live observability (see internal/timeline): the fixed-memory streaming
 // aggregator behind prunesimd's /v1/jobs/{id}/timeline endpoint and
-// hcsim's live progress — embedders drive it from a
-// RunScenarioWithProgress callback.
+// hcsim's live progress — embedders drive it from a Study's OnTrial
+// callback.
 type (
 	// Timeline folds per-trial outcomes into a bounded binned time-series
 	// plus online robustness/duration statistics.
@@ -329,8 +329,8 @@ type (
 	ScenarioEngine = scenario.Engine
 )
 
-// ScenarioTrialProgress reports one finished trial during
-// RunScenarioWithProgress (and Engine.RunWithProgress).
+// ScenarioTrialProgress reports one finished trial during a Study run
+// with an OnTrial callback (and Engine.RunWithProgress).
 type ScenarioTrialProgress = scenario.TrialProgress
 
 // DefaultScenario returns a ready-to-run scenario at the paper's defaults:

@@ -16,10 +16,11 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 # Kernel microbenchmarks (pmf convolution, machine PCT maintenance, the
-# timeline observe hot path, the admission decide path): the per-op cost
-# is nanoseconds to microseconds, so a fixed iteration count would be
-# timer noise — use a time-based benchtime for a stable estimate.
-go test -json -run '^$' -bench 'Convolve|Machine|Timeline|Admission' -benchtime 200ms -count 3 \
+# timeline observe hot path, the admission decide path, the result-store
+# Get/Put paths and the tenant auth check): the per-op cost is nanoseconds
+# to microseconds, so a fixed iteration count would be timer noise — use a
+# time-based benchtime for a stable estimate.
+go test -json -run '^$' -bench 'Convolve|Machine|Timeline|Admission|Store|Tenant' -benchtime 200ms -count 3 \
   -benchmem ./internal/... > "$tmp/micro.jsonl"
 
 # End-to-end sweep benchmarks: one op is a full RunFigure sweep (hundreds

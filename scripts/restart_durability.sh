@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Restart-durability gate: prove the disk-backed result store survives a
+# daemon restart byte-for-byte.
+#
+#   1. start prunesimd with -store=disk, submit a library scenario, wait
+#      for it to finish, download its trials.csv;
+#   2. SIGTERM the daemon (graceful drain) and assert no partially-written
+#      cache file (*.tmp) survives in the data directory;
+#   3. start a fresh daemon over the same directory, resubmit the same
+#      scenario, and assert it is answered from the cache (cache_hit) with
+#      a byte-identical trials.csv.
+#
+# Usage: scripts/restart_durability.sh   (needs curl + jq; builds the
+# daemon itself; all state under a mktemp dir)
+set -euo pipefail
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building prunesimd"
+go build -o "$tmp/prunesimd" ./cmd/prunesimd
+data="$tmp/data"
+
+# start_daemon <logfile>: boots on a kernel-assigned port, sets $daemon_pid
+# and $addr from the "listening on" log line.
+start_daemon() {
+  local logfile="$1"
+  "$tmp/prunesimd" -addr 127.0.0.1:0 -store=disk -data-dir "$data" -workers 2 \
+    >"$logfile" 2>&1 &
+  daemon_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$logfile" | head -1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon never logged its listen address" >&2
+    cat "$logfile" >&2
+    exit 1
+  fi
+  addr="http://$addr"
+}
+
+# submit_and_wait: submits service_smoke, polls to done, echoes the job ID.
+submit_and_wait() {
+  local id state
+  id="$(curl -sf -X POST "$addr/v1/jobs" -d '{"name": "service_smoke"}' | jq -r .id)"
+  for _ in $(seq 1 200); do
+    state="$(curl -sf "$addr/v1/jobs/$id" | jq -r .state)"
+    case "$state" in
+      done) echo "$id"; return 0 ;;
+      failed) echo "job $id failed" >&2; exit 1 ;;
+    esac
+    sleep 0.05
+  done
+  echo "job $id never finished" >&2
+  exit 1
+}
+
+echo "== first life: run service_smoke on a disk store"
+start_daemon "$tmp/log1"
+job1="$(submit_and_wait)"
+curl -sf "$addr/v1/jobs/$job1/trials.csv" > "$tmp/trials_before.csv"
+hit1="$(curl -sf "$addr/v1/jobs/$job1" | jq -r .cache_hit)"
+[ "$hit1" = "false" ] || { echo "first run was unexpectedly a cache hit" >&2; exit 1; }
+
+echo "== SIGTERM and drain"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+if compgen -G "$data/*.tmp" > /dev/null; then
+  echo "partially-written cache files survived SIGTERM:" >&2
+  ls -l "$data"/*.tmp >&2
+  exit 1
+fi
+entries="$(ls "$data"/*.json 2>/dev/null | wc -l)"
+[ "$entries" -ge 1 ] || { echo "no cache entries persisted in $data" >&2; exit 1; }
+echo "   $entries cache entr(ies) on disk, no *.tmp leftovers"
+
+echo "== second life: restart over the same data dir"
+start_daemon "$tmp/log2"
+resub="$(curl -sf -X POST "$addr/v1/jobs" -d '{"name": "service_smoke"}')"
+hit2="$(echo "$resub" | jq -r .cache_hit)"
+job2="$(echo "$resub" | jq -r .id)"
+[ "$hit2" = "true" ] || { echo "restarted daemon missed the cache: $resub" >&2; exit 1; }
+curl -sf "$addr/v1/jobs/$job2/trials.csv" > "$tmp/trials_after.csv"
+
+cmp "$tmp/trials_before.csv" "$tmp/trials_after.csv" || {
+  echo "trials.csv changed across restart" >&2
+  exit 1
+}
+echo "== PASS: cache hit after restart, trials.csv byte-identical"
