@@ -167,3 +167,77 @@ func BenchmarkSimulationImmediateKPB15K(b *testing.B) {
 // BenchmarkExtValueAwarePruning evaluates the cost/priority-aware pruning
 // extension (A4, the paper's other Section-VII future-work item).
 func BenchmarkExtValueAwarePruning(b *testing.B) { runFigure(b, "a4") }
+
+// mm1MTasks sizes the million-task benchmarks.
+const mm1MTasks = 1_000_000
+
+// mm1MWorkload is the million-task workload: the paper's spiky shape with
+// the time span (and spike count) scaled from the 15K benchmark so the
+// oversubscription level — and with it the in-flight task window — stays
+// constant while the task count grows 66x. Runtime and streaming memory
+// then scale linearly, which is exactly what the bytes/op gate measures.
+func mm1MWorkload() prunesim.WorkloadConfig {
+	cfg := prunesim.DefaultWorkload(mm1MTasks)
+	scale := float64(mm1MTasks) / 15000
+	cfg.TimeSpan *= scale
+	cfg.NumSpikes = int(float64(cfg.NumSpikes) * scale)
+	return cfg
+}
+
+// mm1MPlatform is the platform under the million-task benchmarks: the 15K
+// benchmark's batch-MM configuration.
+func mm1MPlatform(b *testing.B) *prunesim.Platform {
+	b.Helper()
+	matrix := prunesim.StandardPET()
+	platform, err := prunesim.NewPlatform(prunesim.PlatformConfig{
+		Matrix:          matrix,
+		Heuristic:       "MM",
+		Pruning:         prunesim.DefaultPruning(matrix.NumTaskTypes()),
+		Seed:            1,
+		ExcludeBoundary: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return platform
+}
+
+// BenchmarkSimulationMM1M runs one full million-task batch-MM trial per
+// iteration over the streaming path: workload generation, simulation and
+// statistics with memory bounded by the in-flight window. Its bytes/op is
+// the CI memory gate for million-task trials (run with -benchmem; see
+// scripts/bench_snapshot.sh) — the materialized variant below is the
+// reference it must stay far under.
+func BenchmarkSimulationMM1M(b *testing.B) {
+	platform := mm1MPlatform(b)
+	wcfg := mm1MWorkload()
+	b.ResetTimer()
+	var rob float64
+	for i := 0; i < b.N; i++ {
+		res, err := platform.RunTrialStream(wcfg, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rob = res.Robustness
+	}
+	b.ReportMetric(rob, "robustness_%")
+}
+
+// BenchmarkSimulationMM1MMaterialized is the same trial over the
+// materialize-everything path — the before picture the streaming bytes/op
+// win is measured against. Not part of the CI gate's baseline comparisons;
+// it exists so `benchdiff` can show the ratio on demand.
+func BenchmarkSimulationMM1MMaterialized(b *testing.B) {
+	platform := mm1MPlatform(b)
+	wcfg := mm1MWorkload()
+	b.ResetTimer()
+	var rob float64
+	for i := 0; i < b.N; i++ {
+		res, err := platform.RunTrial(wcfg, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rob = res.Robustness
+	}
+	b.ReportMetric(rob, "robustness_%")
+}

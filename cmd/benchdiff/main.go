@@ -8,17 +8,20 @@
 //
 //	go test -json -run '^$' -bench . ./... | benchdiff parse -o BENCH_head.json
 //	benchdiff parse -o BENCH_head.json bench_raw.jsonl
-//	benchdiff diff [-threshold 15] [-allow-missing] BENCH_baseline.json BENCH_head.json
+//	benchdiff diff [-threshold 15] [-bytes-threshold 15] [-allow-missing] BENCH_baseline.json BENCH_head.json
 //
 // parse accepts both `go test -bench` text and `go test -json -bench`
 // streams, from stdin or from file arguments, and aggregates -count
-// repetitions (minimum ns/op, maximum allocs/op). diff exits 1 when any
-// benchmark is more than threshold percent slower, allocates more per op
-// than the baseline allows (a small slack absorbs parallel-benchmark
-// noise; zero-alloc benchmarks are gated exactly), or has vanished
-// (unless -allow-missing). Benchmarks present only in the current run
-// cannot fail the gate, but they are listed as "new, no baseline" with a
-// reminder to re-baseline so they do not stay ungated.
+// repetitions (minimum ns/op, maximum allocs/op and bytes/op). diff exits
+// 1 when any benchmark is more than threshold percent slower, allocates
+// more per op than the baseline allows (a small slack absorbs
+// parallel-benchmark noise; zero-alloc benchmarks are gated exactly),
+// grows bytes/op beyond -bytes-threshold (the memory-footprint gate behind
+// the million-task streaming trials; skipped when either side ran without
+// -benchmem), or has vanished (unless -allow-missing). Benchmarks present
+// only in the current run cannot fail the gate, but they are listed as
+// "new, no baseline" with a reminder to re-baseline so they do not stay
+// ungated.
 package main
 
 import (
@@ -60,10 +63,12 @@ func usage() {
   benchdiff parse [-o FILE] [INPUT...]
       Parse 'go test -bench' or 'go test -json -bench' output (stdin when
       no INPUT) into BENCH_*.json. -count runs are aggregated.
-  benchdiff diff [-threshold PCT] [-allocs-slack PCT] [-allow-missing] BASELINE CURRENT
+  benchdiff diff [-threshold PCT] [-allocs-slack PCT] [-bytes-threshold PCT] [-allow-missing] BASELINE CURRENT
       Compare two BENCH_*.json files. Exit 1 on any regression: ns/op more
       than threshold percent above baseline (default 15), allocs/op growth
-      beyond the slack (default 1%; 0 allocs/op stays exact), or a baseline
+      beyond the slack (default 1%; 0 allocs/op stays exact), bytes/op more
+      than bytes-threshold percent above baseline (default 15; skipped when
+      either run lacks -benchmem memory statistics), or a baseline
       benchmark missing from CURRENT. Benchmarks only in CURRENT are listed
       as "new, no baseline" — re-baseline to gate them.
 `)
@@ -122,6 +127,7 @@ func runDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 15, "ns/op regression tolerance in percent")
 	allocsSlack := fs.Float64("allocs-slack", 1, "allocs/op tolerance in percent (absorbs parallel-benchmark noise; 0 allocs/op stays exact)")
+	bytesThreshold := fs.Float64("bytes-threshold", 15, "bytes/op regression tolerance in percent (skipped without -benchmem data)")
 	allowMissing := fs.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the current run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,9 +144,10 @@ func runDiff(args []string) error {
 		return err
 	}
 	rep := benchfmt.Diff(baseline, current, benchfmt.DiffOptions{
-		NsThresholdPct: *threshold,
-		AllocsSlackPct: *allocsSlack,
-		AllowMissing:   *allowMissing,
+		NsThresholdPct:    *threshold,
+		AllocsSlackPct:    *allocsSlack,
+		BytesThresholdPct: *bytesThreshold,
+		AllowMissing:      *allowMissing,
 	})
 	if err := rep.WriteText(os.Stdout); err != nil {
 		return err

@@ -20,6 +20,13 @@ type DiffOptions struct {
 	// 1% slack absorbs it while a benchmark at 0 allocs/op stays gated
 	// exactly (0 times anything is 0). Negative means 0.
 	AllocsSlackPct float64
+	// BytesThresholdPct is the bytes/op regression tolerance in percent —
+	// the memory-footprint gate behind the million-task streaming trials.
+	// Like allocs/op it is hardware-independent, but heap sizes wobble more
+	// than allocation counts (GC timing, map growth), so it gets its own
+	// threshold rather than the allocs slack. Benchmarks that did not
+	// report memory statistics (bytes/op -1) on either side are skipped.
+	BytesThresholdPct float64
 	// AllowMissing downgrades benchmarks present in the baseline but
 	// absent from the new run from a failure to a note. By default a
 	// vanished benchmark fails the diff — a silently deleted benchmark is
@@ -35,6 +42,7 @@ const (
 	VerdictImproved   Verdict = "improved"
 	VerdictRegression Verdict = "REGRESSION"
 	VerdictAllocsGrew Verdict = "ALLOCS-REGRESSION"
+	VerdictBytesGrew  Verdict = "BYTES-REGRESSION"
 	VerdictMissing    Verdict = "missing"
 	VerdictNew        Verdict = "new, no baseline"
 	VerdictIncomplete Verdict = "incomplete"
@@ -53,6 +61,8 @@ type Entry struct {
 	DeltaPct   float64 `json:"delta_pct"` // positive = slower
 	OldAllocs  float64 `json:"old_allocs_per_op"`
 	NewAllocs  float64 `json:"new_allocs_per_op"`
+	OldBytes   float64 `json:"old_bytes_per_op"`
+	NewBytes   float64 `json:"new_bytes_per_op"`
 	Verdict    Verdict `json:"verdict"`
 	Regression bool    `json:"regression"`
 }
@@ -91,8 +101,8 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 		}
 		e := Entry{
 			Name: old.Name, Pkg: old.Pkg,
-			OldNs: old.NsPerOp, OldAllocs: old.AllocsPerOp,
-			NewNs: math.NaN(), NewAllocs: -1,
+			OldNs: old.NsPerOp, OldAllocs: old.AllocsPerOp, OldBytes: old.BytesPerOp,
+			NewNs: math.NaN(), NewAllocs: -1, NewBytes: -1,
 		}
 		if !ok {
 			e.Verdict = VerdictMissing
@@ -105,6 +115,7 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 		seen[nb] = true
 		e.NewNs = nb.NsPerOp
 		e.NewAllocs = nb.AllocsPerOp
+		e.NewBytes = nb.BytesPerOp
 		switch {
 		case old.NsPerOp <= 0 || math.IsNaN(old.NsPerOp) || math.IsNaN(nb.NsPerOp):
 			e.Verdict = VerdictIncomplete
@@ -131,6 +142,14 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 			e.Verdict = VerdictAllocsGrew
 			e.Regression = true
 		}
+		// Bytes/op growth beyond its threshold is the memory-footprint gate:
+		// it fails independently of the time delta, and is skipped only when
+		// either side ran without -benchmem (bytes/op -1).
+		if old.BytesPerOp >= 0 && nb.BytesPerOp >= 0 &&
+			nb.BytesPerOp > old.BytesPerOp*(1+opts.BytesThresholdPct/100) {
+			e.Verdict = VerdictBytesGrew
+			e.Regression = true
+		}
 		rep.add(e)
 	}
 	// Every current benchmark the baseline loop did not match is new:
@@ -142,8 +161,8 @@ func Diff(baseline, current *File, opts DiffOptions) *Report {
 		if !seen[nb] {
 			rep.add(Entry{
 				Name: nb.Name, Pkg: nb.Pkg,
-				OldNs: math.NaN(), OldAllocs: -1,
-				NewNs: nb.NsPerOp, NewAllocs: nb.AllocsPerOp,
+				OldNs: math.NaN(), OldAllocs: -1, OldBytes: -1,
+				NewNs: nb.NsPerOp, NewAllocs: nb.AllocsPerOp, NewBytes: nb.BytesPerOp,
 				Verdict: VerdictNew,
 			})
 		}
@@ -172,8 +191,8 @@ func (r *Report) add(e Entry) {
 
 // WriteText renders the report as an aligned human-readable table.
 func (r *Report) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s  %s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old aps", "new aps", "verdict"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s %12s %12s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old aps", "new aps", "old B/op", "new B/op", "verdict"); err != nil {
 		return err
 	}
 	for _, e := range r.Entries {
@@ -181,8 +200,9 @@ func (r *Report) WriteText(w io.Writer) error {
 		if e.Pkg != "" {
 			name = e.Pkg + "." + name
 		}
-		if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s  %s\n",
-			name, fmtNs(e.OldNs), fmtNs(e.NewNs), fmtPct(e), fmtAllocs(e.OldAllocs), fmtAllocs(e.NewAllocs), e.Verdict); err != nil {
+		if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s %12s %12s  %s\n",
+			name, fmtNs(e.OldNs), fmtNs(e.NewNs), fmtPct(e), fmtAllocs(e.OldAllocs), fmtAllocs(e.NewAllocs),
+			fmtAllocs(e.OldBytes), fmtAllocs(e.NewBytes), e.Verdict); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,107 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// benchFileBytes builds a one-benchmark File with explicit bytes/op for the
+// memory-gate tests (-1 = ran without -benchmem).
+func benchFileBytes(name string, ns, allocs, bytesPerOp float64) *File {
+	return &File{SchemaVersion: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: name, Pkg: "p", Runs: 1, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytesPerOp},
+	}}
+}
+
+// TestDiffBytesRegressionFailsEvenWhenFaster: the synthetic memory
+// regression the CI gate exists to catch — bytes/op grows past the
+// threshold while the benchmark got faster and allocs held steady.
+func TestDiffBytesRegressionFailsEvenWhenFaster(t *testing.T) {
+	rep := Diff(
+		benchFileBytes("BenchmarkSimulationMM1M", 100, 10, 1_000_000),
+		benchFileBytes("BenchmarkSimulationMM1M", 50, 10, 1_200_000),
+		DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 15})
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("+20%% bytes/op must fail at threshold 15%%: %+v", rep)
+	}
+	e := rep.Entries[0]
+	if e.Verdict != VerdictBytesGrew {
+		t.Errorf("verdict = %s, want %s", e.Verdict, VerdictBytesGrew)
+	}
+	if e.OldBytes != 1_000_000 || e.NewBytes != 1_200_000 {
+		t.Errorf("bytes not carried into the entry: old %v new %v", e.OldBytes, e.NewBytes)
+	}
+}
+
+// TestDiffBytesWithinThresholdPasses: growth inside the threshold — and any
+// shrink — passes.
+func TestDiffBytesWithinThresholdPasses(t *testing.T) {
+	rep := Diff(
+		benchFileBytes("BenchmarkX", 100, 2, 1000),
+		benchFileBytes("BenchmarkX", 100, 2, 1100),
+		DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 15})
+	if rep.Failed() {
+		t.Fatalf("+10%% bytes at threshold 15%% must pass: %+v", rep.Entries)
+	}
+	rep = Diff(
+		benchFileBytes("BenchmarkX", 100, 2, 1000),
+		benchFileBytes("BenchmarkX", 100, 2, 10),
+		DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 15})
+	if rep.Failed() {
+		t.Fatalf("a bytes/op improvement must pass: %+v", rep.Entries)
+	}
+}
+
+// TestDiffBytesZeroBaselineStaysExact: like the allocs gate, a benchmark at
+// 0 B/op is gated exactly — any growth fails whatever the threshold.
+func TestDiffBytesZeroBaselineStaysExact(t *testing.T) {
+	rep := Diff(
+		benchFileBytes("BenchmarkX", 100, 0, 0),
+		benchFileBytes("BenchmarkX", 100, 0, 8),
+		DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 50})
+	if !rep.Failed() || rep.Entries[0].Verdict != VerdictBytesGrew {
+		t.Fatalf("0 -> 8 B/op must fail even with a generous threshold: %+v", rep.Entries)
+	}
+}
+
+// TestDiffBytesMissingMemstatsSkipped: -1 (no -benchmem) on either side
+// means the gate has nothing sound to compare; the diff must not fail.
+func TestDiffBytesMissingMemstatsSkipped(t *testing.T) {
+	cases := []struct{ old, new float64 }{
+		{-1, 1_000_000}, // baseline predates -benchmem
+		{1_000_000, -1}, // current run skipped -benchmem
+		{-1, -1},
+	}
+	for _, c := range cases {
+		rep := Diff(
+			benchFileBytes("BenchmarkX", 100, -1, c.old),
+			benchFileBytes("BenchmarkX", 100, -1, c.new),
+			DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 15})
+		if rep.Failed() {
+			t.Fatalf("bytes %v -> %v must be skipped, not failed: %+v", c.old, c.new, rep.Entries)
+		}
+		if rep.Entries[0].Verdict == VerdictBytesGrew {
+			t.Fatalf("bytes %v -> %v produced a bytes verdict", c.old, c.new)
+		}
+	}
+}
+
+// TestDiffBytesTextReport: the table carries the B/op columns and the
+// BYTES-REGRESSION verdict.
+func TestDiffBytesTextReport(t *testing.T) {
+	rep := Diff(
+		benchFileBytes("BenchmarkX", 100, 2, 1000),
+		benchFileBytes("BenchmarkX", 100, 2, 5000),
+		DiffOptions{NsThresholdPct: 15, BytesThresholdPct: 15})
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"old B/op", "new B/op", "1000", "5000", string(VerdictBytesGrew)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -90,6 +90,11 @@ type Machine struct {
 	pending           []Entry
 	down              bool // failed and not yet rejoined
 
+	// tailEps, when positive, compresses every chain PCT right after it is
+	// convolved (pmf.CompressTail): long streaming trials keep supports
+	// bounded at the price of an ε-conservative chance estimate.
+	tailEps float64
+
 	// Incremental-PCT state. Invariant: pending[:validTo] hold exactly the
 	// PCTs a full reconvolution from the anchor identified by chainKey
 	// would produce (bitwise).
@@ -135,6 +140,46 @@ func New(id, typeIdx int, lookup PETLookup, binWidth float64) *Machine {
 // on one goroutine) but must not be shared across goroutines. A nil scratch
 // is valid and means plain allocation.
 func (m *Machine) SetScratch(s *pmf.Scratch) { m.scratch = s }
+
+// SetTailEps configures tail-mass-ε support compression: after every chain
+// convolution the resulting PCT drops its largest suffix with mass <= eps
+// into the tail bucket. Tail mass misses every deadline, so chance-of-
+// success estimates become at most eps lower — conservative, never
+// optimistic — while supports stay small over million-task trials. eps must
+// be in [0, 1); 0 (the default) disables compression. The running task's
+// completion belief is never compressed: it anchors conditioning and its
+// support is a single PET wide.
+//
+// Compression is applied identically at every site that extends or repairs
+// the chain, so the incremental invariant — pending[:validTo] bitwise-equal
+// to a full reconvolution — holds for any eps. Changing eps mid-trial
+// invalidates the chain.
+func (m *Machine) SetTailEps(eps float64) {
+	if eps < 0 || eps >= 1 || math.IsNaN(eps) {
+		panic(fmt.Sprintf("machine %d: tail eps %v out of range [0, 1)", m.id, eps))
+	}
+	if eps == m.tailEps {
+		return
+	}
+	m.tailEps = eps
+	m.chainKey = anchorKey{}
+	m.validTo = 0
+	m.bumpVer()
+}
+
+// TailEps returns the configured tail-compression epsilon.
+func (m *Machine) TailEps() float64 { return m.tailEps }
+
+// compressed applies the configured tail-ε compression to a just-convolved
+// chain PCT in place and returns it. Every chain-convolution site must route
+// through this helper — a single uncompressed link would break the
+// bitwise-rebuild invariant.
+func (m *Machine) compressed(d *pmf.PMF) *pmf.PMF {
+	if m.tailEps > 0 {
+		d.CompressTailInPlace(m.tailEps)
+	}
+	return d
+}
 
 // ID returns the machine's identifier.
 func (m *Machine) ID() int { return m.id }
@@ -234,7 +279,7 @@ func (m *Machine) anchorFor(key anchorKey, now float64) *pmf.PMF {
 func (m *Machine) reconvolve(start int, prev *pmf.PMF) {
 	for i := start; i < len(m.pending); i++ {
 		e := &m.pending[i]
-		e.PCT = pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type))
+		e.PCT = m.compressed(pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type)))
 		prev = e.PCT
 	}
 	m.validTo = len(m.pending)
@@ -316,7 +361,7 @@ func (m *Machine) pctIfEnqueued(taskType int, p *pmf.PMF, now float64) *pmf.PMF 
 	if m.chancePCT == nil {
 		m.chancePCT = m.scratch.Get()
 	}
-	pmf.ConvolveInto(m.chancePCT, last, p)
+	m.compressed(pmf.ConvolveInto(m.chancePCT, last, p))
 	m.chanceOK, m.chanceVer, m.chanceKey, m.chanceType = true, m.ver, akey, taskType
 	return m.chancePCT
 }
@@ -426,7 +471,7 @@ func (m *Machine) DropPending(now float64, shouldDrop func(e Entry) bool) []*tas
 	kept := m.pending[:0]
 	for _, e := range m.pending {
 		if dirty {
-			e.PCT = pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type))
+			e.PCT = m.compressed(pmf.ConvolveInto(e.PCT, prev, m.pet(e.Task.Type)))
 		}
 		if shouldDrop(e) {
 			if !dirty {

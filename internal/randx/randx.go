@@ -20,24 +20,37 @@ import (
 // PCG-based source and adds the samplers used across the simulator.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns an RNG seeded with seed. Two RNGs built from the same seed
 // produce identical streams.
 func New(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
+}
+
+// splitSeed mixes (seed, id) SplitMix64-style into a fresh seed.
+func splitSeed(seed, id uint64) uint64 {
+	z := seed + id*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Split derives an independent sub-stream identified by id. The derivation is
 // a pure function of the parent's seed material, so the order in which
 // sub-streams are created or consumed does not matter.
 func Split(seed uint64, id uint64) *RNG {
-	// SplitMix64-style mixing of (seed, id) into a fresh seed.
-	z := seed + id*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return New(z)
+	return New(splitSeed(seed, id))
+}
+
+// SplitInto resets r in place to the exact stream Split(seed, id) would
+// produce, without allocating. Hot loops that draw a fresh sub-stream per
+// item (e.g. per task start) reuse one RNG this way.
+func (r *RNG) SplitInto(seed, id uint64) {
+	z := splitSeed(seed, id)
+	r.pcg.Seed(z, z^0x9e3779b97f4a7c15)
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -46,6 +46,36 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	// Reseeding one RNG in place must reproduce every Split sub-stream
+	// exactly — the simulator's per-task-start sampler depends on it.
+	reused := New(0)
+	for id := uint64(0); id < 50; id++ {
+		fresh := Split(7, id)
+		reused.SplitInto(7, id)
+		for i := 0; i < 8; i++ {
+			if fv, rv := fresh.Float64(), reused.Float64(); fv != rv {
+				t.Fatalf("id %d draw %d: Split %v != SplitInto %v", id, i, fv, rv)
+			}
+		}
+	}
+}
+
+func TestSplitIntoAfterPartialDraws(t *testing.T) {
+	// A reseed mid-stream must fully discard the previous sub-stream state.
+	reused := New(0)
+	reused.SplitInto(7, 1)
+	_ = reused.Float64() // leave the stream mid-flight
+	_ = reused.NormFloat64()
+	reused.SplitInto(7, 2)
+	fresh := Split(7, 2)
+	for i := 0; i < 8; i++ {
+		if fv, rv := fresh.Float64(), reused.Float64(); fv != rv {
+			t.Fatalf("draw %d after reseed: %v != %v", i, fv, rv)
+		}
+	}
+}
+
 func TestSplitStreamsDiffer(t *testing.T) {
 	a := Split(7, 1)
 	b := Split(7, 2)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -313,11 +314,14 @@ func (e *Engine) runTrial(s Scenario, c *compiled, trial int) (res *sim.Result, 
 	matrix := c.matrix
 	wcfg := c.wcfg
 	wcfg.Trial = trial
-	tasks := workload.GenerateWith(matrix, c.model, wcfg)
-	if len(tasks) == 0 {
-		return nil, fmt.Errorf("scenario %q: workload generated no tasks (tasks=%d at scale %v)",
-			s.Name, s.Workload.Tasks, s.Run.Scale)
-	}
+	// Stream the workload instead of materializing it: the source yields
+	// tasks in arrival order from a per-trial arena and the simulator
+	// recycles each one as its outcome is tallied, so a trial's memory is
+	// bounded by the in-flight window, not the task count. A fresh Source
+	// per trial is required — trials run concurrently and the arena is not
+	// thread-safe (c.model is shared read-only; Stream() derives fresh
+	// per-trial state).
+	src := workload.NewSourceWith(matrix, c.model, wcfg)
 
 	// Fresh heuristic instance per trial: some heuristics carry cursors.
 	h, imm, err := sched.ByName(s.Platform.Heuristic)
@@ -340,25 +344,31 @@ func (e *Engine) runTrial(s Scenario, c *compiled, trial int) (res *sim.Result, 
 	if slots == 0 {
 		slots = sim.DefaultSlots
 	}
-	exclude := *s.Run.ExcludeBoundary
-	if len(tasks) <= 2*exclude+1 {
-		exclude = len(tasks) / 4
-	}
 	var ck clock.Clock
 	if e.NewClock != nil {
 		ck = e.NewClock()
 	}
-	return sim.Run(matrix, tasks, sim.Config{
-		Mode:            mode,
-		Heuristic:       h,
-		MachineTypes:    machineTypes(s, matrix),
-		Slots:           slots,
-		Prune:           prune,
-		Seed:            s.Run.Seed ^ 0xabcd,
-		ExcludeBoundary: exclude,
-		Events:          c.events,
-		Clock:           ck,
+	res, err = sim.RunStream(matrix, src, sim.Config{
+		Mode:         mode,
+		Heuristic:    h,
+		MachineTypes: machineTypes(s, matrix),
+		Slots:        slots,
+		Prune:        prune,
+		Seed:         s.Run.Seed ^ 0xabcd,
+		// The simulator clamps the boundary exactly as the old
+		// pre-materialized `len(tasks) <= 2*exclude+1` rule did, now that
+		// the count is only known when the stream drains.
+		ExcludeBoundary:     *s.Run.ExcludeBoundary,
+		AutoExcludeBoundary: true,
+		TailEps:             s.Platform.PCTTailEps,
+		Events:              c.events,
+		Clock:               ck,
 	})
+	if errors.Is(err, sim.ErrNoTasks) {
+		return nil, fmt.Errorf("scenario %q: workload generated no tasks (tasks=%d at scale %v)",
+			s.Name, s.Workload.Tasks, s.Run.Scale)
+	}
+	return res, err
 }
 
 // summarize folds per-trial results into an Outcome.

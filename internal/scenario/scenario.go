@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -183,6 +184,13 @@ type Platform struct {
 	// PET overrides PET-matrix generation parameters (heavy-tail
 	// profiles, custom bin widths). Nil keeps the paper's parameters.
 	PET *PETParams `json:"pet,omitempty"`
+	// PCTTailEps, in [0, 1), enables ε-conservative completion-time tail
+	// compression: each chain convolution folds at most this much
+	// probability mass from the distribution tail into a final catch-all
+	// bin, bounding per-task PCT support on long queues. 0 (default) keeps
+	// exact distributions. Success chances only ever shrink under
+	// compression, so pruning stays conservative. Not scaled by run.scale.
+	PCTTailEps float64 `json:"pct_tail_eps,omitempty"`
 }
 
 // PETParams overrides PET PMF generation (see pet.Params). Zero-valued
@@ -501,6 +509,9 @@ func (s Scenario) validate() error {
 	}
 	if p.Slots < 0 {
 		return fmt.Errorf("scenario %q: platform.slots must be non-negative, got %d", s.Name, p.Slots)
+	}
+	if p.PCTTailEps < 0 || p.PCTTailEps >= 1 || math.IsNaN(p.PCTTailEps) {
+		return fmt.Errorf("scenario %q: platform.pct_tail_eps %v out of range [0, 1)", s.Name, p.PCTTailEps)
 	}
 	if pet := p.PET; pet != nil {
 		if pet.BinWidth < 0 || pet.Samples < 0 || pet.ShapeLo < 0 || pet.ShapeHi < pet.ShapeLo {

@@ -25,7 +25,7 @@ func (*MM) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	v := newVirtualState(ctx)
 	defer v.release()
 	remaining := v.tasks(unmapped)
-	var out []Assignment
+	out := ctx.AssignBuf[:0]
 	for v.total > 0 && len(remaining) > 0 {
 		bestI, bestJ, bestC := -1, -1, math.Inf(1)
 		for i, t := range remaining {
@@ -42,6 +42,7 @@ func (*MM) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 		v.assign(ctx, t, bestJ)
 		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
 	}
+	ctx.AssignBuf = out
 	return out
 }
 
@@ -107,7 +108,7 @@ func mapPerMachineRounds(ctx *Context, unmapped []*task.Task,
 	defer v.release()
 	remaining := v.tasks(unmapped)
 	v.roundBuffers(len(ctx.Machines), len(remaining))
-	var out []Assignment
+	out := ctx.AssignBuf[:0]
 	for v.total > 0 && len(remaining) > 0 {
 		v.round++
 		round := v.round
@@ -158,5 +159,6 @@ func mapPerMachineRounds(ctx *Context, unmapped []*task.Task,
 		}
 		remaining = kept
 	}
+	ctx.AssignBuf = out
 	return out
 }

@@ -55,7 +55,7 @@ func (*MaxMin) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	v := newVirtualState(ctx)
 	defer v.release()
 	remaining := v.tasks(unmapped)
-	var out []Assignment
+	out := ctx.AssignBuf[:0]
 	for v.total > 0 && len(remaining) > 0 {
 		bestI, bestJ, bestC := -1, -1, math.Inf(-1)
 		for i, t := range remaining {
@@ -72,6 +72,7 @@ func (*MaxMin) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 		v.assign(ctx, t, bestJ)
 		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
 	}
+	ctx.AssignBuf = out
 	return out
 }
 

@@ -27,7 +27,7 @@ func (f *FCFSRR) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 	queue := v.tasks(unmapped)
 	sortTasksByArrival(queue)
 	n := len(ctx.Machines)
-	var out []Assignment
+	out := ctx.AssignBuf[:0]
 	for _, t := range queue {
 		if v.total <= 0 {
 			break
@@ -48,6 +48,7 @@ func (f *FCFSRR) Map(ctx *Context, unmapped []*task.Task) []Assignment {
 			break
 		}
 	}
+	ctx.AssignBuf = out
 	return out
 }
 
@@ -94,7 +95,7 @@ func assignSorted(ctx *Context, unmapped []*task.Task, less func(a, b *task.Task
 	defer v.release()
 	queue := v.tasks(unmapped)
 	sort.SliceStable(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
-	var out []Assignment
+	out := ctx.AssignBuf[:0]
 	for _, t := range queue {
 		if v.total <= 0 {
 			break
@@ -106,5 +107,6 @@ func assignSorted(ctx *Context, unmapped []*task.Task, less func(a, b *task.Task
 		out = append(out, Assignment{Task: t, Machine: j})
 		v.assign(ctx, t, j)
 	}
+	ctx.AssignBuf = out
 	return out
 }

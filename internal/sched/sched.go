@@ -33,6 +33,13 @@ type Context struct {
 	// Slots caps the number of pending (not yet running) tasks per machine
 	// queue in batch mode. Zero or negative means unbounded (immediate mode).
 	Slots int
+
+	// AssignBuf is the reusable backing array batch heuristics build their
+	// returned assignments in; Map calls grow it as needed and store it back,
+	// so a long simulation reaches a steady state where mapping events stop
+	// allocating. It makes one Map result only valid until the next Map call
+	// with the same Context (see Batch).
+	AssignBuf []Assignment
 }
 
 // Usable reports whether machine j can accept work: a machine taken down by
@@ -64,6 +71,10 @@ type Assignment struct {
 // arrival queue, produce assignments until machine queue slots are exhausted
 // or no task remains. Implementations must not mutate tasks or machines;
 // they reason over virtual state only.
+//
+// The returned slice is backed by the Context's reusable AssignBuf: it is
+// valid only until the next Map call with the same Context, so callers must
+// consume (or copy) it first.
 type Batch interface {
 	Name() string
 	Map(ctx *Context, unmapped []*task.Task) []Assignment

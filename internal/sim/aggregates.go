@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"prunesim/internal/stats"
+	"prunesim/internal/task"
+	"prunesim/internal/timeline"
+)
+
+// TaskAggregates is an optional fixed-size sink for per-task statistics,
+// fed the moment each task's outcome becomes final (Config.Aggregates).
+// It holds a handful of online estimators plus one bounded timeline — a few
+// kilobytes regardless of workload size — so million-task trials can report
+// response-time distributions without retaining tasks.
+//
+// Unlike the Result's counted window, aggregates see every task, including
+// the ExcludeBoundary warm-up/cool-down bands: they describe the trial's
+// whole dynamics, not the steady-state measurement.
+//
+// Not safe for concurrent use: attach a fresh TaskAggregates to each trial
+// (the scenario engine runs trials concurrently).
+type TaskAggregates struct {
+	// Response summarizes completion-minus-arrival of completed tasks
+	// (on time or late); dropped and unfinished tasks carry no response.
+	Response stats.Running
+	// RespP50/P90/P99 are P² estimates of the response-time distribution.
+	RespP50, RespP90, RespP99 stats.P2Quantile
+	// QueueWait summarizes start-minus-arrival of tasks that began running.
+	QueueWait stats.Running
+	// Timeline, when non-nil, bins outcome mixes over simulated time
+	// (one Observation per task: At = retirement time, Duration = response).
+	Timeline *timeline.Timeline
+}
+
+// NewTaskAggregates returns a sink expecting roughly expectedTasks tasks,
+// with a timeline binned at binWidth simulated seconds (<= 0 uses the
+// timeline default).
+func NewTaskAggregates(expectedTasks int, binWidth float64) *TaskAggregates {
+	return &TaskAggregates{
+		RespP50:  stats.NewP2Quantile(0.50),
+		RespP90:  stats.NewP2Quantile(0.90),
+		RespP99:  stats.NewP2Quantile(0.99),
+		Timeline: timeline.NewWithWidth(expectedTasks, binWidth),
+	}
+}
+
+// observe folds one task whose outcome just became final. now is the
+// simulated time of the retirement (trial end time for leftovers).
+func (a *TaskAggregates) observe(t *task.Task, now float64) {
+	var c timeline.Counts
+	c.Counted = 1
+	c.Deferrals = t.Deferrals
+	rob := 0.0
+	resp := -1.0
+	switch t.Status {
+	case task.StatusCompletedOnTime:
+		c.OnTime = 1
+		rob = 100
+		resp = t.Completion - t.Arrival
+	case task.StatusCompletedLate:
+		c.Late = 1
+		resp = t.Completion - t.Arrival
+	case task.StatusDroppedReactive:
+		c.DroppedReactive = 1
+	case task.StatusDroppedProactive:
+		c.DroppedProactive = 1
+	default:
+		c.Unfinished = 1
+	}
+	if resp >= 0 {
+		a.Response.Observe(resp)
+		a.RespP50.Observe(resp)
+		a.RespP90.Observe(resp)
+		a.RespP99.Observe(resp)
+		a.QueueWait.Observe(t.Start - t.Arrival)
+	}
+	if a.Timeline != nil {
+		a.Timeline.Observe(timeline.Observation{
+			Trial:      t.ID,
+			At:         now,
+			Duration:   resp,
+			Robustness: rob,
+			Counts:     c,
+		})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"prunesim/internal/eventq"
 	"prunesim/internal/machine"
 	"prunesim/internal/pmf"
-	"prunesim/internal/randx"
 	"prunesim/internal/sched"
 	"prunesim/internal/task"
 )
@@ -54,6 +53,7 @@ func (s *simulator) run() (*Result, error) {
 		t.Machine = -1
 		t.Start, t.Completion = 0, 0
 		t.Deferrals = 0
+		t.Mark = 0
 		s.events.Push(eventq.Event{Time: t.Arrival, Kind: eventq.KindArrival, TaskID: t.ID, Machine: -1})
 	}
 	for s.events.Len() > 0 {
@@ -108,6 +108,22 @@ func (s *simulator) handleCompletion(j int) {
 	if s.now > s.res.Makespan {
 		s.res.Makespan = s.now
 	}
+	s.retire(t)
+}
+
+// retire processes a task the moment its outcome is final: it feeds the
+// optional fixed-size aggregates and — on the streaming path — tallies the
+// outcome and hands the struct back to the source for reuse. The task must
+// no longer be referenced by any queue. On the materialized path (other
+// than aggregation) it is a no-op: finalize scans the task slice instead.
+func (s *simulator) retire(t *task.Task) {
+	if s.cfg.Aggregates != nil {
+		s.cfg.Aggregates.observe(t, s.now)
+	}
+	if s.stream == nil {
+		return
+	}
+	s.recordOutcome(t)
 }
 
 // mappingEvent implements Figure 5. arrived is non-nil only in immediate
@@ -176,6 +192,7 @@ func (s *simulator) reactiveSweep() {
 				t.Status = task.StatusDroppedReactive
 				s.pruner.RecordReactiveDrop(t.Type)
 				s.emit(TraceDroppedReactive, t, -1, false)
+				s.retire(t)
 				continue
 			}
 			kept = append(kept, t)
@@ -192,6 +209,7 @@ func (s *simulator) reactiveSweep() {
 			t.Status = task.StatusDroppedReactive
 			s.pruner.RecordReactiveDrop(t.Type)
 			s.emit(TraceDroppedReactive, t, t.Machine, false)
+			s.retire(t)
 		}
 	}
 }
@@ -207,6 +225,7 @@ func (s *simulator) proactiveDrop() {
 			t.Status = task.StatusDroppedProactive
 			s.pruner.RecordProactiveDrop(t.Type)
 			s.emit(TraceDroppedProactive, t, t.Machine, false)
+			s.retire(t)
 		}
 	}
 }
@@ -219,8 +238,9 @@ func (s *simulator) batchMap() {
 		return
 	}
 	ctx := s.schedCtx()
-	// Tasks whose skipMark equals the current mapping-event number were
-	// already deferred or enqueued within this event.
+	// Tasks whose Mark equals the current mapping-event number were already
+	// deferred or enqueued within this event. MappingEvents is >= 1 here, so
+	// a fresh task's zero Mark never collides.
 	mark := s.res.MappingEvents
 	enqueued := 0
 	for {
@@ -229,7 +249,7 @@ func (s *simulator) batchMap() {
 		}
 		avail := s.availBuf[:0]
 		for _, t := range s.batch {
-			if s.skipMark[t.ID] != mark {
+			if t.Mark != mark {
 				avail = append(avail, t)
 			}
 		}
@@ -249,12 +269,12 @@ func (s *simulator) batchMap() {
 				s.res.Deferrals++
 				s.pruner.RecordDeferral(a.Task.Type)
 				s.emitChance(TraceDeferred, a.Task, a.Machine, false, chance)
-				s.skipMark[a.Task.ID] = mark
+				a.Task.Mark = mark
 				continue
 			}
 			m.Enqueue(a.Task, s.now)
 			s.emitChance(TraceMapped, a.Task, a.Machine, false, chance)
-			s.skipMark[a.Task.ID] = mark
+			a.Task.Mark = mark
 			enqueued++
 		}
 	}
@@ -297,9 +317,11 @@ func (s *simulator) startMachines() {
 
 // sampleDuration realizes the ground-truth execution time of t on m from
 // the PET PMF, using an independent per-(task, machine) random sub-stream.
+// The sub-stream is reseeded into one reusable RNG, so sampling allocates
+// nothing even across millions of task starts.
 func (s *simulator) sampleDuration(t *task.Task, m *machine.Machine) float64 {
-	rng := randx.Split(s.cfg.Seed, uint64(t.ID)*256+uint64(m.ID()))
-	dur := s.matrix.PET(t.Type, m.TypeIndex()).Sample(rng)
+	s.durRNG.SplitInto(s.cfg.Seed, uint64(t.ID)*256+uint64(m.ID()))
+	dur := s.matrix.PET(t.Type, m.TypeIndex()).Sample(s.durRNG)
 	if dur < minDuration {
 		dur = minDuration
 	}
@@ -335,13 +357,14 @@ func (s *simulator) finalize() {
 			if t.Missed(s.now) {
 				t.Status = task.StatusDroppedReactive
 			}
+			if s.cfg.Aggregates != nil {
+				s.cfg.Aggregates.observe(t, s.now)
+			}
 		}
 	}
 	lo := s.cfg.ExcludeBoundary
 	hi := len(s.tasks) - s.cfg.ExcludeBoundary
 	s.res.TotalTasks = len(s.tasks)
-	s.res.PerTypeOnTime = make([]int, s.matrix.NumTaskTypes())
-	s.res.PerTypeDropped = make([]int, s.matrix.NumTaskTypes())
 	for _, t := range s.tasks {
 		if t.ID < lo || t.ID >= hi {
 			continue

@@ -80,6 +80,9 @@ func (s *simulator) handlePlatform(pe PlatformEvent) {
 			}
 			m := machine.New(j, mt, s.basePET(mt), s.matrix.BinWidth())
 			m.SetScratch(s.scratch)
+			if s.cfg.TailEps > 0 {
+				m.SetTailEps(s.cfg.TailEps)
+			}
 			s.machines = append(s.machines, m)
 			s.gen = append(s.gen, 0)
 			s.slow = append(s.slow, 1)

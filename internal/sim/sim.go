@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -23,6 +24,7 @@ import (
 	"prunesim/internal/machine"
 	"prunesim/internal/pet"
 	"prunesim/internal/pmf"
+	"prunesim/internal/randx"
 	"prunesim/internal/sched"
 	"prunesim/internal/task"
 )
@@ -88,7 +90,45 @@ type Config struct {
 	// Clock paces the simulation (see internal/clock). Nil means pure
 	// simulated time: no pacing, full CPU speed.
 	Clock clock.Clock
+	// TailEps, when positive, enables tail-mass-ε PCT compression on every
+	// machine (machine.SetTailEps): after each queue-chain convolution the
+	// largest suffix with mass <= TailEps folds into the PMF's tail bucket.
+	// Chance-of-success estimates become at most ε-per-chain-link lower —
+	// conservative, never optimistic — while PMF supports stay bounded over
+	// million-task trials. Must be in [0, 1); 0 (default) keeps exact PCTs.
+	TailEps float64
+	// AutoExcludeBoundary clamps ExcludeBoundary to total/4 when the
+	// workload turns out too small for it (total <= 2*ExcludeBoundary+1)
+	// instead of returning an error. Streaming runs learn the task total
+	// only when the source dries up, so this is how RunStream callers keep
+	// tiny workloads runnable without pre-counting.
+	AutoExcludeBoundary bool
+	// Aggregates, when non-nil, receives every task the moment its outcome
+	// is known (and unfinished leftovers at the end of the trial) —
+	// fixed-size streaming per-task statistics independent of the counted
+	// window. See TaskAggregates.
+	Aggregates *TaskAggregates
 }
+
+// TaskSource yields the tasks of one trial in arrival order. RunStream
+// requires IDs to be assigned sequentially from 0 in yield order (the
+// counted-window tally folds outcomes in ID order); workload.Source
+// satisfies this by construction.
+type TaskSource interface {
+	Next() (*task.Task, bool)
+}
+
+// TaskRecycler is optionally implemented by a TaskSource whose tasks come
+// from an arena. RunStream hands each task back the moment its outcome has
+// been tallied, so a trial's live task memory is bounded by the in-flight
+// window rather than the workload size. A recycled task must not be
+// referenced again.
+type TaskRecycler interface {
+	Recycle(*task.Task)
+}
+
+// ErrNoTasks reports a task source that yielded no tasks at all.
+var ErrNoTasks = errors.New("sim: workload contains no tasks")
 
 // PlatformEventKind classifies scheduled platform events.
 type PlatformEventKind uint8
@@ -344,16 +384,39 @@ func (r *Result) conservationError() error {
 	return nil
 }
 
-// Run executes one simulation over the given workload. The task structs are
-// reset and mutated in place (generate a fresh workload per run if you need
-// the originals). It returns an error for configuration mistakes;
-// invariant violations panic, as they indicate bugs, not bad input.
+// Run executes one simulation over the given materialized workload. The
+// task structs are reset and mutated in place (generate a fresh workload per
+// run if you need the originals). It returns an error for configuration
+// mistakes; invariant violations panic, as they indicate bugs, not bad
+// input. For memory-bounded trials over large workloads, use RunStream.
 func Run(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*Result, error) {
 	s, err := newSimulator(matrix, tasks, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.run()
+}
+
+// RunStream executes one simulation pulling tasks incrementally from src,
+// with memory bounded by the in-flight window plus fixed aggregator state —
+// never by the total task count. The Result is bitwise-identical to Run on
+// the materialized equivalent of the same source. If src implements
+// TaskRecycler, every task is handed back the moment its outcome is
+// tallied. It returns ErrNoTasks (wrapped) when the source yields nothing.
+func RunStream(matrix *pet.Matrix, src TaskSource, cfg Config) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sim: nil task source")
+	}
+	s, err := newSimCore(matrix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.ExcludeBoundary < 0 {
+		return nil, fmt.Errorf("sim: ExcludeBoundary %d must be non-negative", s.cfg.ExcludeBoundary)
+	}
+	rec, _ := src.(TaskRecycler)
+	s.stream = &streamState{src: src, rec: rec, pending: make(map[int]outcome)}
+	return s.runStream()
 }
 
 type simulator struct {
@@ -373,11 +436,14 @@ type simulator struct {
 	scratch *pmf.Scratch
 	// ctx is the reusable heuristic context (only Now changes per event).
 	ctx sched.Context
-	// skipMark[taskID] == res.MappingEvents marks tasks already deferred or
-	// enqueued within the current mapping event (replaces a per-event map).
-	skipMark []int
 	// availBuf is the reusable unmapped-candidates buffer for batchMap.
 	availBuf []*task.Task
+	// durRNG is the reusable execution-time sampler, reseeded per task start
+	// (see sampleDuration).
+	durRNG *randx.RNG
+	// stream is the incremental-consumption state; nil on the materialized
+	// Run path.
+	stream *streamState
 
 	// Platform-event state. gen[j] is machine j's generation: bumped on
 	// every failure so completion events scheduled before the failure pop
@@ -399,7 +465,27 @@ type stretchKey struct {
 	factorBits  uint64
 }
 
+// newSimulator builds the materialized-path simulator over a task slice.
 func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulator, error) {
+	s, err := newSimCore(matrix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AutoExcludeBoundary && cfg.ExcludeBoundary >= 0 && len(tasks) <= 2*cfg.ExcludeBoundary+1 {
+		s.cfg.ExcludeBoundary = len(tasks) / 4
+	}
+	if s.cfg.ExcludeBoundary < 0 || 2*s.cfg.ExcludeBoundary >= len(tasks) {
+		return nil, fmt.Errorf("sim: ExcludeBoundary %d out of range for %d tasks", s.cfg.ExcludeBoundary, len(tasks))
+	}
+	s.tasks = tasks
+	return s, nil
+}
+
+// newSimCore builds everything both the materialized and the streaming path
+// share: machine set, heuristic wiring, pruner, platform-event validation.
+// ExcludeBoundary is validated by the callers — the streaming path learns
+// the task total only at the end of the trial.
+func newSimCore(matrix *pet.Matrix, cfg Config) (*simulator, error) {
 	if matrix == nil {
 		return nil, fmt.Errorf("sim: nil PET matrix")
 	}
@@ -427,13 +513,13 @@ func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulato
 	if err := cfg.Prune.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.ExcludeBoundary < 0 || 2*cfg.ExcludeBoundary >= len(tasks) {
-		return nil, fmt.Errorf("sim: ExcludeBoundary %d out of range for %d tasks", cfg.ExcludeBoundary, len(tasks))
+	if cfg.TailEps < 0 || cfg.TailEps >= 1 || math.IsNaN(cfg.TailEps) {
+		return nil, fmt.Errorf("sim: TailEps %v out of range [0, 1)", cfg.TailEps)
 	}
 	if err := ValidateEvents(len(cfg.MachineTypes), matrix.NumMachineTypes(), cfg.Events); err != nil {
 		return nil, err
 	}
-	s := &simulator{matrix: matrix, cfg: cfg, tasks: tasks, pruner: core.New(cfg.Prune)}
+	s := &simulator{matrix: matrix, cfg: cfg, pruner: core.New(cfg.Prune), durRNG: randx.New(0)}
 	switch h := cfg.Heuristic.(type) {
 	case sched.Immediate:
 		if cfg.Mode != ImmediateMode {
@@ -451,13 +537,17 @@ func newSimulator(matrix *pet.Matrix, tasks []*task.Task, cfg Config) (*simulato
 	s.machines = make([]*machine.Machine, len(cfg.MachineTypes))
 	for j, mt := range cfg.MachineTypes {
 		s.machines[j] = machine.New(j, mt, s.basePET(mt), matrix.BinWidth())
+		if cfg.TailEps > 0 {
+			s.machines[j].SetTailEps(cfg.TailEps)
+		}
 	}
 	s.gen = make([]uint64, len(s.machines))
 	s.slow = make([]float64, len(s.machines))
 	for j := range s.slow {
 		s.slow[j] = 1
 	}
-	s.skipMark = make([]int, len(tasks))
+	s.res.PerTypeOnTime = make([]int, matrix.NumTaskTypes())
+	s.res.PerTypeDropped = make([]int, matrix.NumTaskTypes())
 	slots := cfg.Slots
 	if cfg.Mode == ImmediateMode {
 		slots = 0 // unbounded machine queues

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+
+	"prunesim/internal/eventq"
+	"prunesim/internal/pmf"
+	"prunesim/internal/task"
+)
+
+// The streaming path: RunStream pulls tasks from a TaskSource one at a time
+// and retires each the moment its outcome is final, so a trial's live memory
+// is O(in-flight tasks + fixed aggregator state) instead of O(total tasks).
+//
+// Two invariants make the Result bitwise-identical to the materialized Run:
+//
+//  1. Event order. Run pushes platform events first and all arrivals second
+//     at init (completions join during the run), so its (time, insertion)
+//     heap resolves an equal-time tie as platform < arrival < completion.
+//     The streaming loop reproduces this with a one-task lookahead racing
+//     the queue head: an arrival at the queue head's timestamp goes first
+//     unless the head is a platform event.
+//
+//  2. Tally order. Run's finalize accumulates the counted window's floats
+//     (ValueTotal, ValueOnTime) by ascending task ID. The streaming tally
+//     buffers out-of-order outcomes in a small pending map and folds them
+//     in strictly increasing ID order, holding back IDs near the trailing
+//     exclusion boundary until enough later arrivals prove them inside the
+//     window. The map holds at most the out-of-order window plus
+//     ExcludeBoundary stalled entries — never the whole workload.
+
+// outcome is the fixed-size record of one finished task — everything the
+// counted-window tally needs after the struct is recycled.
+type outcome struct {
+	status task.Status
+	typ    int
+	value  float64
+}
+
+// streamState is the incremental-consumption state of one RunStream trial.
+type streamState struct {
+	src TaskSource
+	rec TaskRecycler // src's recycler, nil if it has none
+
+	nextArr *task.Task // one-task lookahead racing the event queue
+	pulled  int        // tasks yielded by the source (ID contract cursor)
+	arrived int        // arrival events processed; max arrived ID + 1
+	lastArr float64    // last arrival time seen (order contract)
+
+	pending  map[int]outcome // recorded outcomes not yet folded
+	nextFold int             // next task ID to fold into the Result
+}
+
+// pullArrival advances the lookahead, enforcing the source contract: IDs
+// sequential from 0 in yield order, arrival times non-decreasing.
+func (s *simulator) pullArrival() error {
+	st := s.stream
+	t, ok := st.src.Next()
+	if !ok {
+		st.nextArr = nil
+		return nil
+	}
+	if t.ID != st.pulled {
+		return fmt.Errorf("sim: task source yielded ID %d, want %d (IDs must be sequential in arrival order)", t.ID, st.pulled)
+	}
+	if st.pulled > 0 && t.Arrival < st.lastArr {
+		return fmt.Errorf("sim: task source arrivals out of order: %v after %v", t.Arrival, st.lastArr)
+	}
+	st.pulled++
+	st.lastArr = t.Arrival
+	st.nextArr = t
+	return nil
+}
+
+// recordOutcome captures a task's final outcome, recycles the struct if the
+// source reuses tasks, and folds whatever the window now allows.
+func (s *simulator) recordOutcome(t *task.Task) {
+	st := s.stream
+	st.pending[t.ID] = outcome{status: t.Status, typ: t.Type, value: t.Value}
+	if st.rec != nil {
+		st.rec.Recycle(t)
+	}
+	s.drainOutcomes()
+}
+
+// drainOutcomes folds recorded outcomes into the Result in strictly
+// increasing ID order — finalize's float summation order. An ID folds only
+// once its window membership is certain:
+//
+//   - maxArrived >= 2*lo+1 proves the final total exceeds 2*lo+1, so the
+//     effective boundary is exactly the configured one (finalizeStream's
+//     small-workload clamp can no longer fire), and
+//   - id <= maxArrived-lo proves id < total-lo whatever the final total is.
+//
+// Everything else waits for finalizeStream's exact-total drain.
+func (s *simulator) drainOutcomes() {
+	st := s.stream
+	lo := s.cfg.ExcludeBoundary
+	maxID := st.arrived - 1
+	if maxID < 2*lo+1 {
+		return
+	}
+	for st.nextFold <= maxID-lo {
+		o, ok := st.pending[st.nextFold]
+		if !ok {
+			return
+		}
+		delete(st.pending, st.nextFold)
+		if st.nextFold >= lo {
+			s.tallyOutcome(o)
+		}
+		st.nextFold++
+	}
+}
+
+// tallyOutcome adds one counted-window outcome to the Result, mirroring
+// finalize's per-task accounting exactly.
+func (s *simulator) tallyOutcome(o outcome) {
+	s.res.Counted++
+	value := o.value
+	if value <= 0 {
+		value = 1
+	}
+	s.res.ValueTotal += value
+	switch o.status {
+	case task.StatusCompletedOnTime:
+		s.res.OnTime++
+		s.res.ValueOnTime += value
+		s.res.PerTypeOnTime[o.typ]++
+	case task.StatusCompletedLate:
+		s.res.Late++
+	case task.StatusDroppedReactive:
+		s.res.DroppedReactive++
+		s.res.PerTypeDropped[o.typ]++
+	case task.StatusDroppedProactive:
+		s.res.DroppedProactive++
+		s.res.PerTypeDropped[o.typ]++
+	default:
+		s.res.Unfinished++
+	}
+}
+
+// runStream is run() for the incremental path.
+func (s *simulator) runStream() (*Result, error) {
+	s.scratch = pmf.GetScratch()
+	defer func() {
+		for _, m := range s.machines {
+			m.SetScratch(nil)
+		}
+		pmf.PutScratch(s.scratch)
+		s.scratch = nil
+	}()
+	for _, m := range s.machines {
+		m.SetScratch(s.scratch)
+	}
+	for i, pe := range s.cfg.Events {
+		s.events.Push(eventq.Event{Time: pe.Time, Kind: eventq.KindPlatform, TaskID: i, Machine: -1})
+	}
+	st := s.stream
+	if err := s.pullArrival(); err != nil {
+		return nil, err
+	}
+	for {
+		// Race the pending arrival against the queue head (equal-time tie:
+		// platform first, completion last — see the file comment).
+		useQueue := false
+		if st.nextArr == nil {
+			if s.events.Len() == 0 {
+				break
+			}
+			useQueue = true
+		} else if s.events.Len() > 0 {
+			head := s.events.Peek()
+			if head.Time < st.nextArr.Arrival ||
+				(head.Time == st.nextArr.Arrival && head.Kind == eventq.KindPlatform) {
+				useQueue = true
+			}
+		}
+		if useQueue {
+			e := s.events.Pop()
+			if s.cfg.Clock != nil {
+				s.cfg.Clock.Advance(e.Time)
+			}
+			s.now = e.Time
+			switch e.Kind {
+			case eventq.KindCompletion:
+				if e.Gen != s.gen[e.Machine] {
+					// Stale: the machine failed after scheduling this
+					// completion and the task was requeued.
+					continue
+				}
+				s.handleCompletion(e.Machine)
+			case eventq.KindPlatform:
+				s.handlePlatform(s.cfg.Events[e.TaskID])
+			}
+			s.mappingEvent(nil)
+			continue
+		}
+		t := st.nextArr
+		st.nextArr = nil
+		if s.cfg.Clock != nil {
+			s.cfg.Clock.Advance(t.Arrival)
+		}
+		s.now = t.Arrival
+		st.arrived++
+		// Mirror the materialized path's per-task reset; arena-fresh tasks
+		// are already in this state.
+		t.Status = task.StatusBatchQueued
+		t.Machine = -1
+		t.Start, t.Completion = 0, 0
+		t.Deferrals = 0
+		t.Mark = 0
+		s.emit(TraceArrived, t, -1, false)
+		var arrived *task.Task
+		if s.cfg.Mode == BatchMode {
+			s.batch = append(s.batch, t)
+		} else {
+			arrived = t
+		}
+		s.mappingEvent(arrived)
+		s.drainOutcomes()
+		if err := s.pullArrival(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.finalizeStream(); err != nil {
+		return nil, err
+	}
+	if err := s.res.conservationError(); err != nil {
+		panic(err) // invariant violation: a simulator bug, not bad input
+	}
+	return &s.res, nil
+}
+
+// finalizeStream resolves tasks still queued when the event stream dries up
+// (mirroring finalize: no pruner accounting, no trace events) and drains the
+// tally with the now-known task total.
+func (s *simulator) finalizeStream() error {
+	for _, t := range s.batch {
+		if t.Missed(s.now) {
+			t.Status = task.StatusDroppedReactive
+		}
+		if s.cfg.Aggregates != nil {
+			s.cfg.Aggregates.observe(t, s.now)
+		}
+		s.recordOutcome(t)
+	}
+	s.batch = s.batch[:0]
+	for _, m := range s.machines {
+		if t := m.Running(); t != nil {
+			// Unreachable on a conforming event stream (a running task
+			// always has a live completion event), kept for conservation.
+			if s.cfg.Aggregates != nil {
+				s.cfg.Aggregates.observe(t, s.now)
+			}
+			s.recordOutcome(t)
+		}
+		for _, e := range m.Pending() {
+			t := e.Task
+			if t.Missed(s.now) {
+				t.Status = task.StatusDroppedReactive
+			}
+			if s.cfg.Aggregates != nil {
+				s.cfg.Aggregates.observe(t, s.now)
+			}
+			s.recordOutcome(t)
+		}
+	}
+	st := s.stream
+	total := st.arrived
+	if total == 0 {
+		return fmt.Errorf("%w", ErrNoTasks)
+	}
+	lo := s.cfg.ExcludeBoundary
+	if s.cfg.AutoExcludeBoundary && total <= 2*lo+1 {
+		// The incremental folds gate on maxArrived >= 2*lo+1, so when this
+		// clamp fires nothing has been folded yet and the effective
+		// boundary applies to every task.
+		lo = total / 4
+	} else if 2*lo >= total {
+		return fmt.Errorf("sim: ExcludeBoundary %d out of range for %d tasks", lo, total)
+	}
+	hi := total - lo
+	for id := st.nextFold; id < total; id++ {
+		o, ok := st.pending[id]
+		if !ok {
+			panic(fmt.Sprintf("sim: no outcome recorded for task %d", id))
+		}
+		delete(st.pending, id)
+		if id >= lo && id < hi {
+			s.tallyOutcome(o)
+		}
+	}
+	st.nextFold = total
+	s.res.TotalTasks = total
+	if s.res.Counted > 0 {
+		s.res.Robustness = 100 * float64(s.res.OnTime) / float64(s.res.Counted)
+	}
+	if s.res.ValueTotal > 0 {
+		s.res.WeightedRobustness = 100 * s.res.ValueOnTime / s.res.ValueTotal
+	}
+	return nil
+}

@@ -17,7 +17,7 @@ package workload
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"prunesim/internal/pet"
 	"prunesim/internal/randx"
@@ -121,11 +121,17 @@ func GenerateWith(m *pet.Matrix, model ArrivalModel, cfg Config) []*task.Task {
 			all = append(all, tk)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Arrival != all[j].Arrival {
-			return all[i].Arrival < all[j].Arrival
+	// Stable sort by (Arrival, Type): per-type streams emit in nondecreasing
+	// time, so stability makes equal (Arrival, Type) pairs keep their stream
+	// order — the same tie rule the streaming Source's k-way merge applies.
+	slices.SortStableFunc(all, func(a, b *task.Task) int {
+		switch {
+		case a.Arrival < b.Arrival:
+			return -1
+		case a.Arrival > b.Arrival:
+			return 1
 		}
-		return all[i].Type < all[j].Type
+		return a.Type - b.Type
 	})
 	for i, t := range all {
 		t.ID = i

@@ -34,6 +34,12 @@ type PlatformConfig struct {
 	// ExcludeBoundary excludes the first/last N tasks from statistics
 	// (paper: 100). Values larger than the workload allow are clamped.
 	ExcludeBoundary int
+	// PCTTailEps, in [0, 1), enables ε-conservative completion-time tail
+	// compression: each chain convolution folds at most this much tail
+	// probability mass into a catch-all bin, bounding PCT support on long
+	// queues. 0 keeps exact distributions. Compression only ever lowers
+	// estimated success chances, so pruning stays conservative.
+	PCTTailEps float64
 	// Observer, when non-nil, receives every task lifecycle event.
 	Observer func(TraceEvent)
 }
@@ -79,6 +85,9 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if err := cfg.Pruning.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.PCTTailEps < 0 || cfg.PCTTailEps >= 1 {
+		return nil, fmt.Errorf("prunesim: PCTTailEps %v out of range [0, 1)", cfg.PCTTailEps)
+	}
 	return &Platform{cfg: cfg}, nil
 }
 
@@ -108,6 +117,7 @@ func (p *Platform) Run(tasks []*Task) (*Result, error) {
 		Prune:           p.cfg.Pruning,
 		Seed:            p.cfg.Seed,
 		ExcludeBoundary: exclude,
+		TailEps:         p.cfg.PCTTailEps,
 		Observer:        p.cfg.Observer,
 	})
 }
@@ -120,4 +130,41 @@ func (p *Platform) RunTrial(wcfg WorkloadConfig, trial int) (*Result, error) {
 		return nil, err
 	}
 	return p.Run(tasks)
+}
+
+// RunStream simulates the platform over a streaming workload source with
+// memory bounded by the in-flight task window plus fixed per-machine state —
+// never by the total task count. Tasks are recycled into the source's arena
+// the moment their outcome is tallied. On workloads large enough that
+// ExcludeBoundary needs no clamping, the Result is bitwise-identical to Run
+// over the materialized equivalent (tiny workloads clamp the boundary
+// slightly differently: n/4 here versus Run's (n-1)/2).
+func (p *Platform) RunStream(src *WorkloadSource) (*Result, error) {
+	h, _, err := sched.ByName(p.cfg.Heuristic) // fresh instance per run
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunStream(p.cfg.Matrix, src, sim.Config{
+		Mode:                p.cfg.Mode,
+		Heuristic:           h,
+		MachineTypes:        p.cfg.MachineTypes,
+		Slots:               p.cfg.QueueSlots,
+		Prune:               p.cfg.Pruning,
+		Seed:                p.cfg.Seed,
+		ExcludeBoundary:     p.cfg.ExcludeBoundary,
+		AutoExcludeBoundary: true,
+		TailEps:             p.cfg.PCTTailEps,
+		Observer:            p.cfg.Observer,
+	})
+}
+
+// RunTrialStream generates workload trial number `trial` as a stream and
+// runs it memory-bounded — the path for million-task trials.
+func (p *Platform) RunTrialStream(wcfg WorkloadConfig, trial int) (*Result, error) {
+	wcfg.Trial = trial
+	src, err := NewWorkloadSource(p.cfg.Matrix, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunStream(src)
 }

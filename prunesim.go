@@ -179,6 +179,20 @@ func ArrivalRate(cfg WorkloadConfig, m *PETMatrix, t float64) (float64, error) {
 	return workload.Rate(cfg, m, t)
 }
 
+// WorkloadSource streams one workload trial task-by-task in arrival order
+// from an internal arena, yielding exactly the tasks GenerateWorkload would
+// materialize without ever holding them all. Feed it to
+// Platform.RunTrialStream (or sim.RunStream) for memory-bounded
+// million-task trials.
+type WorkloadSource = workload.Source
+
+// NewWorkloadSource validates cfg and returns a streaming generator for one
+// workload trial. A source is single-use and not safe for concurrent use;
+// build a fresh one per trial.
+func NewWorkloadSource(m *PETMatrix, cfg WorkloadConfig) (*WorkloadSource, error) {
+	return workload.NewSource(m, cfg)
+}
+
 // Pruning (see internal/core — the paper's contribution).
 type (
 	// PruningConfig configures the pruning mechanism.

@@ -17,10 +17,11 @@ trap 'rm -rf "$tmp"' EXIT
 
 # Kernel microbenchmarks (pmf convolution, machine PCT maintenance, the
 # timeline observe hot path, the admission decide path, the result-store
-# Get/Put paths and the tenant auth check): the per-op cost is nanoseconds
-# to microseconds, so a fixed iteration count would be timer noise — use a
-# time-based benchtime for a stable estimate.
-go test -json -run '^$' -bench 'Convolve|Machine|Timeline|Admission|Store|Tenant' -benchtime 200ms -count 3 \
+# Get/Put paths, the tenant auth check and the workload generation /
+# streaming-source paths): the per-op cost is nanoseconds to microseconds,
+# so a fixed iteration count would be timer noise — use a time-based
+# benchtime for a stable estimate.
+go test -json -run '^$' -bench 'Convolve|Machine|Timeline|Admission|Store|Tenant|Workload' -benchtime 200ms -count 3 \
   -benchmem ./internal/... > "$tmp/micro.jsonl"
 
 # End-to-end sweep benchmarks: one op is a full RunFigure sweep (hundreds
@@ -28,4 +29,13 @@ go test -json -run '^$' -bench 'Convolve|Machine|Timeline|Admission|Store|Tenant
 go test -json -run '^$' -bench 'Figure' -benchtime 100x -count 3 \
   -benchmem . > "$tmp/figure.jsonl"
 
-go run ./cmd/benchdiff parse -o "$out" "$tmp/micro.jsonl" "$tmp/figure.jsonl"
+# Million-task memory gate: one full streaming trial per op (~5 s), run
+# once — its bytes/op is what the gate watches (memory is deterministic
+# for a fixed workload, so a single iteration is exact; ns/op on a 1x run
+# is noisy, which the diff threshold absorbs). The Materialized variant is
+# deliberately excluded from the baseline: it exists for on-demand ratio
+# measurements, not as a gated benchmark.
+go test -json -run '^$' -bench 'SimulationMM1M$' -benchtime 1x -count 1 \
+  -benchmem . > "$tmp/mm1m.jsonl"
+
+go run ./cmd/benchdiff parse -o "$out" "$tmp/micro.jsonl" "$tmp/figure.jsonl" "$tmp/mm1m.jsonl"
